@@ -1,0 +1,126 @@
+"""Ablations for the design choices called out in DESIGN.md §3.
+
+* completion budget: Figure-3-verbatim (freed workers only) vs the
+  deadlock-free accumulated-free default;
+* launcher slot reservation (the Fig-2 ``freeSlots - 1``) on vs off;
+* comm layer: the paper's MPI build vs the legacy netlrts build for the
+  rescale protocol (contribution C1).
+"""
+
+import pytest
+
+from benchmarks.conftest import once, trials_from_env
+from repro.charm.commlayer import MPI_LAYER, NETLRTS_LAYER
+from repro.experiments import render_table
+from repro.experiments.fig5 import measure_rescale
+from repro.scheduling import PolicyConfig
+from repro.schedsim import ScheduleSimulator, WorkloadSpec, generate_workload
+
+
+def run_policy_variant(config: PolicyConfig, trials: int, submission_gap=90.0):
+    agg = {"total_time": 0.0, "utilization": 0.0,
+           "weighted_mean_response": 0.0, "weighted_mean_completion": 0.0}
+    done = 0
+    stranded = 0
+    for seed in range(trials):
+        sim = ScheduleSimulator(config)
+        subs = generate_workload(WorkloadSpec(submission_gap=submission_gap, seed=seed))
+        try:
+            metrics = sim.run(subs).metrics
+        except Exception:
+            stranded += 1
+            continue
+        done += 1
+        for key in agg:
+            agg[key] += metrics.as_dict()[key]
+    return ({k: v / done for k, v in agg.items()} if done else agg), stranded, done
+
+
+def test_ablation_completion_budget(benchmark, save_result):
+    """Verbatim Fig-3 budget strands workloads; the default never does."""
+    trials = min(trials_from_env(), 60)
+
+    def run():
+        literal, stranded_lit, done_lit = run_policy_variant(
+            PolicyConfig(name="elastic", rescale_gap=180.0,
+                         literal_completion_budget=True),
+            trials,
+        )
+        default, stranded_def, done_def = run_policy_variant(
+            PolicyConfig(name="elastic", rescale_gap=180.0),
+            trials,
+        )
+        return literal, stranded_lit, default, stranded_def, done_lit
+
+    literal, stranded_lit, default, stranded_def, done_lit = once(benchmark, run)
+    assert stranded_def == 0  # the default never deadlocks
+    rows = [
+        ["literal (Fig 3 verbatim)", stranded_lit,
+         literal["total_time"], literal["utilization"] * 100],
+        ["accumulated-free (default)", stranded_def,
+         default["total_time"], default["utilization"] * 100],
+    ]
+    save_result(
+        "ablation_completion_budget",
+        render_table(
+            ["budget", "stranded runs", "mean total (s)", "mean util (%)"],
+            rows,
+            title=f"Completion-budget ablation over {trials} workloads "
+                  "(stranded = queued job never started)",
+        ),
+    )
+
+
+def test_ablation_launcher_slots(benchmark, save_result):
+    """Reserving a launcher slot (Fig 2's ``freeSlots - 1``) costs capacity."""
+    trials = min(trials_from_env(), 60)
+
+    def run():
+        with_slot, _, _ = run_policy_variant(
+            PolicyConfig(name="elastic", rescale_gap=180.0, launcher_slots=1),
+            trials,
+        )
+        without, _, _ = run_policy_variant(
+            PolicyConfig(name="elastic", rescale_gap=180.0, launcher_slots=0),
+            trials,
+        )
+        return with_slot, without
+
+    with_slot, without = once(benchmark, run)
+    # Worker-visible utilization drops when launchers hold slots.
+    assert with_slot["utilization"] < without["utilization"]
+    rows = [
+        ["launcher_slots=1", with_slot["total_time"], with_slot["utilization"] * 100],
+        ["launcher_slots=0", without["total_time"], without["utilization"] * 100],
+    ]
+    save_result(
+        "ablation_launcher_slots",
+        render_table(["config", "mean total (s)", "mean worker util (%)"], rows,
+                     title="Launcher-slot reservation ablation"),
+    )
+
+
+def test_ablation_comm_layer(benchmark, save_result):
+    """Contribution C1: the MPI machine layer cuts rescale overhead vs
+    netlrts (§2.2), dominated by the restart stage."""
+
+    def run():
+        rows = []
+        for p in (8, 16, 32):
+            mpi = measure_rescale(p, p // 2, 8192 * 8192 * 4, commlayer=MPI_LAYER)
+            net = measure_rescale(p, p // 2, 8192 * 8192 * 4, commlayer=NETLRTS_LAYER)
+            rows.append([p, mpi["total"], net["total"], net["total"] / mpi["total"]])
+        return rows
+
+    rows = once(benchmark, run)
+    for _, mpi_total, net_total, ratio in rows:
+        assert net_total > mpi_total
+        assert ratio > 1.5  # "significant reduction in rescaling overheads"
+    save_result(
+        "ablation_comm_layer",
+        render_table(
+            ["replicas", "mpi total (s)", "netlrts total (s)", "ratio"],
+            rows,
+            title="Shrink-to-half overhead: MPI vs netlrts machine layer (C1)",
+        ),
+    )

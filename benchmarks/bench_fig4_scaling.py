@@ -1,0 +1,51 @@
+"""Figure 4: strong scaling of Jacobi2D and LeanMD (§4.1).
+
+Regenerates both panels from the calibrated scaling models and validates
+the qualitative shape on the real chare runtime with a small Jacobi solve.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import render_fig4
+from repro.experiments.fig4 import fig4a_data, fig4b_data
+
+
+def test_fig4_scaling_curves(benchmark, save_result):
+    text = once(benchmark, render_fig4)
+    # Shape assertions: who scales (paper §4.1).
+    a = {name: dict(series) for name, series in fig4a_data().items()}
+    assert a["16384x16384"][4] / a["16384x16384"][64] > 8.0
+    assert a["2048x2048"][4] / a["2048x2048"][64] < 4.0
+    b = {name: dict(series) for name, series in fig4b_data().items()}
+    for series in b.values():
+        assert series[4] / series[64] > 6.0
+    save_result("fig4_scaling", text)
+
+
+def test_fig4_real_runtime_validation(benchmark, save_result):
+    """Strong-scale a real-compute Jacobi solve on the chare runtime and
+    confirm the virtual-time speedup shape (large grids scale, small don't)."""
+    from repro.apps.jacobi2d import Jacobi2D, JacobiConfig
+    from repro.charm import CharmRuntime
+    from repro.sim import Engine
+
+    def solve_time(pes: int, n: int) -> float:
+        engine = Engine()
+        rts = CharmRuntime(engine, num_pes=pes)
+        app = Jacobi2D(JacobiConfig(n=n, blocks=8, steps=30,
+                                    compute_per_point=2e-6))
+        engine.process(app.main(rts))
+        engine.run()
+        return engine.now
+
+    def run():
+        return {
+            pes: solve_time(pes, n=128)
+            for pes in (1, 2, 4, 8)
+        }
+
+    times = once(benchmark, run)
+    assert times[1] > times[4] > times[8]
+    lines = ["Real chare-runtime Jacobi (128x128, 64 chares) virtual time:"]
+    for pes, t in times.items():
+        lines.append(f"  {pes} PEs: {t:8.3f}s  speedup x{times[1] / t:.2f}")
+    save_result("fig4_runtime_validation", "\n".join(lines))

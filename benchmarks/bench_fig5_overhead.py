@@ -1,0 +1,50 @@
+"""Figure 5: rescale-overhead decomposition (§4.2).
+
+Each row runs the genuine shrink/expand protocol on a chare runtime and
+reports the per-stage virtual seconds, reproducing all three panels.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import render_fig5
+from repro.experiments.fig5 import STAGES, fig5a_rows, fig5b_rows, fig5c_rows
+
+
+def _col(rows, stage):
+    return [row[STAGES.index(stage) + 1] for row in rows]
+
+
+def test_fig5_overhead_decomposition(benchmark, save_result):
+    text = once(benchmark, render_fig5)
+    save_result("fig5_overhead", text)
+
+
+def test_fig5a_shape(benchmark):
+    rows = once(benchmark, fig5a_rows)
+    restarts = _col(rows, "restart")
+    ckpts = _col(rows, "checkpoint")
+    restores = _col(rows, "restore")
+    # §4.2: restart grows with replicas; checkpoint/restore shrink.
+    assert all(a < b for a, b in zip(restarts, restarts[1:]))
+    assert all(a > b for a, b in zip(ckpts, ckpts[1:]))
+    assert all(a > b for a, b in zip(restores, restores[1:]))
+
+
+def test_fig5b_shape(benchmark):
+    rows = once(benchmark, fig5b_rows)
+    restarts = _col(rows, "restart")
+    assert all(a < b for a, b in zip(restarts, restarts[1:]))
+
+
+def test_fig5c_shape(benchmark):
+    rows = once(benchmark, fig5c_rows)
+    ckpts = _col(rows, "checkpoint")
+    restarts = _col(rows, "restart")
+    totals = _col(rows, "total")
+    # §4.2: data stages grow with problem size; restart stays flat; the
+    # small problem is restart-dominated while 4 GB is data-dominated; and
+    # in-memory checkpoint+restore stays cheap throughout.
+    assert all(a < b for a, b in zip(ckpts, ckpts[1:]))
+    assert max(restarts) - min(restarts) < 0.02 * max(restarts)
+    assert totals[0] < totals[-1]
+    last = dict(zip(["grid"] + list(STAGES), rows[-1]))
+    assert last["checkpoint"] + last["restore"] < 2.0

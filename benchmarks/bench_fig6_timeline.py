@@ -1,0 +1,23 @@
+"""Figure 6: Jacobi2D iteration timeline around a shrink and expand (§4.2).
+
+The full 3000-iteration run on the 16k x 16k problem: shrink 32 -> 16 at
+iteration 1000, expand back at 2000.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import render_fig6, run_fig6
+
+
+def test_fig6_timeline(benchmark, save_result):
+    result = once(benchmark, run_fig6)
+    durations = dict(result.block_durations)
+    # Fig 6a: pace roughly halves after the shrink, recovers after expand.
+    before = durations[1000]
+    during = durations[1500]
+    after = durations[3000]
+    assert during > before * 1.6
+    assert abs(after - before) < 0.05 * before
+    # Fig 6b: both rescale gaps visible as jumps in the timeline.
+    assert [r.kind for r in result.rescale_reports] == ["shrink", "expand"]
+    assert result.timeline[-1][1] == 3000
+    save_result("fig6_timeline", render_fig6(result))

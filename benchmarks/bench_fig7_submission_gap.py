@@ -1,0 +1,63 @@
+"""Figure 7: scheduler metrics vs job submission rate (§4.3.1).
+
+16 random jobs per trial, ``REPRO_TRIALS`` (default 100) trials per point,
+T_rescale_gap = 180 s, submission gap swept 0..300 s — all four panels.
+"""
+
+from benchmarks.conftest import once, trials_from_env
+from repro.experiments import render_sweep_figure
+from repro.experiments.fig78 import run_fig7
+
+
+def test_fig7_submission_gap_sweep(benchmark, save_result):
+    trials = trials_from_env()
+    result = once(benchmark, run_fig7, trials=trials)
+    gaps = result.values
+
+    def series(policy, metric):
+        return dict(result.series(policy, metric))
+
+    # Panel (a): elastic utilization highest, min_replicas lowest, and
+    # utilization falls as the gap grows.
+    for gap in gaps[:4]:
+        at_gap = {p: series(p, "utilization")[gap] for p in result.policies()}
+        assert at_gap["elastic"] == max(at_gap.values())
+        assert at_gap["min_replicas"] == min(at_gap.values())
+    for policy in result.policies():
+        u = series(policy, "utilization")
+        assert u[gaps[0]] > u[gaps[-1]]
+
+    # Panel (b): elastic total time lowest under load; the three non-min
+    # schedulers converge at large gaps while min_replicas stays worst.
+    for gap in gaps[:4]:
+        at_gap = {p: series(p, "total_time")[gap] for p in result.policies()}
+        assert at_gap["elastic"] == min(at_gap.values())
+    last = {p: series(p, "total_time")[gaps[-1]] for p in result.policies()}
+    others = [last["elastic"], last["moldable"], last["max_replicas"]]
+    assert max(others) - min(others) < 0.05 * last["elastic"]
+    assert last["min_replicas"] > max(others)
+
+    # Panel (c): min_replicas has the lowest response time under load.
+    for gap in gaps[1:5]:
+        at_gap = {
+            p: series(p, "weighted_mean_response")[gap] for p in result.policies()
+        }
+        assert at_gap["min_replicas"] == min(at_gap.values())
+        assert at_gap["elastic"] < at_gap["max_replicas"]
+
+    # Panel (d): min_replicas has the highest completion time under
+    # moderate+ gaps; max_replicas the lowest at gap 0.
+    at_zero = {
+        p: series(p, "weighted_mean_completion")[gaps[0]] for p in result.policies()
+    }
+    assert at_zero["max_replicas"] == min(at_zero.values())
+    for gap in gaps[3:]:
+        at_gap = {
+            p: series(p, "weighted_mean_completion")[gap] for p in result.policies()
+        }
+        assert at_gap["min_replicas"] == max(at_gap.values())
+
+    save_result(
+        "fig7_submission_gap",
+        f"(trials per point: {trials})\n\n" + render_sweep_figure(result, "Figure 7"),
+    )

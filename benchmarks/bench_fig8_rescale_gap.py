@@ -1,0 +1,50 @@
+"""Figure 8: scheduler metrics vs T_rescale_gap (§4.3.1).
+
+Submission gap fixed at 180 s; T_rescale_gap swept 0..1200 s.
+"""
+
+from benchmarks.conftest import once, trials_from_env
+from repro.experiments import render_sweep_figure
+from repro.experiments.fig78 import run_fig8
+
+
+def test_fig8_rescale_gap_sweep(benchmark, save_result):
+    trials = trials_from_env()
+    result = once(benchmark, run_fig8, trials=trials)
+    gaps = result.values
+
+    def series(policy, metric):
+        return dict(result.series(policy, metric))
+
+    # Baselines are flat in T by construction (moldable uses infinity;
+    # rigid jobs cannot rescale).
+    for policy in ("moldable", "min_replicas", "max_replicas"):
+        u = series(policy, "utilization")
+        assert max(u.values()) - min(u.values()) < 1e-9
+
+    # Elastic: highest utilization at small T, declining toward moldable.
+    eu = series("elastic", "utilization")
+    mu = series("moldable", "utilization")
+    assert eu[gaps[0]] == max(
+        series(p, "utilization")[gaps[0]] for p in result.policies()
+    )
+    assert eu[gaps[0]] > eu[gaps[-1]]
+    assert abs(eu[gaps[-1]] - mu[gaps[-1]]) < abs(eu[gaps[0]] - mu[gaps[0]])
+
+    # §4.3.1: total time rises monotonically-ish with T — the rescaling
+    # overhead is small enough that frequent rescaling always pays off.
+    et = series("elastic", "total_time")
+    assert et[gaps[0]] < et[gaps[-1]]
+    assert et[gaps[0]] == min(
+        series(p, "total_time")[gaps[0]] for p in result.policies()
+    )
+
+    # Completion time: elastic approaches moldable as T grows.
+    ec = series("elastic", "weighted_mean_completion")
+    mc = series("moldable", "weighted_mean_completion")
+    assert abs(ec[gaps[-1]] - mc[gaps[-1]]) < abs(ec[gaps[0]] - mc[gaps[0]]) + 5.0
+
+    save_result(
+        "fig8_rescale_gap",
+        f"(trials per point: {trials})\n\n" + render_sweep_figure(result, "Figure 8"),
+    )

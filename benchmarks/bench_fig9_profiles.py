@@ -1,0 +1,40 @@
+"""Figure 9: full-Kubernetes-path utilization profiles & replica evolution
+(§4.3.2).
+
+The fixed 16-job workload (90 s gap, T = 180 s) runs through the complete
+stack — apiserver, kube-scheduler, kubelets, MPI operator, CCS rescale
+protocol — once per policy.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import render_fig9, run_fig9
+
+
+def test_fig9_cluster_profiles(benchmark, save_result):
+    result = once(benchmark, run_fig9)
+    runs = result.runs
+
+    # Fig 9a: elastic achieves the highest utilization of the four.
+    utils = {p: r.metrics.utilization for p, r in runs.items()}
+    assert utils["elastic"] == max(utils.values())
+    assert utils["min_replicas"] == min(utils.values())
+
+    # The moldable profile shows the §4.3.2 pathology: jobs started small
+    # during traffic stay small, so its utilization trails elastic's.
+    assert utils["moldable"] < utils["elastic"]
+
+    # Fig 9b: the featured job rescaled multiple times under elastic
+    # (shrink then regrow, like the paper's xlarge trace).
+    series = runs["elastic"].replica_series(result.featured_job)
+    distinct_sizes = {r for _, r in series if r > 0}
+    assert len(distinct_sizes) >= 3
+    assert runs["elastic"].rescale_counts[result.featured_job] >= 2
+    # The draw still contains xlarge jobs and at least one of them rescales.
+    xlarge_rescales = [
+        runs["elastic"].rescale_counts[n]
+        for n, size in runs["elastic"].job_sizes.items()
+        if size == "xlarge"
+    ]
+    assert xlarge_rescales and max(xlarge_rescales) >= 1
+
+    save_result("fig9_profiles", render_fig9(result))

@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the substrates (wall-clock performance).
+
+These measure the *implementation* rather than reproduce paper artifacts:
+event-loop throughput, policy decision latency, checkpoint bandwidth, and
+message throughput bound how large an experiment the harness can run.
+"""
+
+import numpy as np
+
+from repro.charm import CharmRuntime, checkpoint_to_shm, restore_from_shm
+from repro.scheduling import ElasticPolicyEngine, JobRequest, PolicyConfig
+from repro.sim import Engine
+
+from tests.charm.conftest import Counter, Holder
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run 20k timer events."""
+
+    def run():
+        engine = Engine()
+        sink = []
+        for i in range(20_000):
+            engine.schedule((i % 97) * 0.01, sink.append, i)
+        engine.run()
+        return len(sink)
+
+    assert benchmark(run) == 20_000
+
+
+def test_policy_decision_throughput(benchmark):
+    """A full submit/complete churn of 400 jobs through Figure 2/3."""
+
+    def run():
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=10.0))
+        now = 0.0
+        for i in range(400):
+            now += 5.0
+            policy.on_submit(
+                JobRequest(name=f"j{i}", min_replicas=2 + i % 7,
+                           max_replicas=9 + i % 23, priority=1 + i % 5),
+                now,
+            )
+            if policy.running and i % 2:
+                victim = policy.running[-1]
+                now += 1.0
+                policy.on_complete(victim.name, now)
+        return len(policy.decision_log)
+
+    assert benchmark(run) > 0
+
+
+def test_checkpoint_restore_bandwidth(benchmark):
+    """Round-trip 64 MiB of real chare state through shm checkpointing."""
+    engine = Engine()
+    rts = CharmRuntime(engine, num_pes=8)
+    rts.create_array(Holder, range(32), kwargs={"size": 64 * 1024**2 // 32 // 8})
+
+    def run():
+        image = checkpoint_to_shm(rts)
+        rts.replace_pes(8)
+        restored = restore_from_shm(rts, image)
+        return image.total_bytes, restored
+
+    total_bytes, restored = benchmark(run)
+    assert restored == 32
+    assert total_bytes > 64 * 1024**2
+
+
+def test_message_delivery_throughput(benchmark):
+    """Deliver 10k chare messages through the runtime scheduler."""
+
+    def run():
+        engine = Engine()
+        rts = CharmRuntime(engine, num_pes=4)
+        proxy = rts.create_array(Counter, range(16))
+        for _ in range(625):
+            proxy.broadcast("ping")
+        engine.run()
+        return sum(c.count for c in rts.elements(proxy.array_id))
+
+    assert benchmark(run) == 10_000
+
+
+def test_kube_scheduler_binding_throughput(benchmark):
+    """Bind 200 pods through the apiserver + scheduler + kubelet path."""
+    from repro.k8s import KubeCluster, Pod, PodSpec, Resources, make_eks_nodes
+
+    def run():
+        engine = Engine()
+        nodes = make_eks_nodes(count=16, instance=Resources.parse(cpu="16", memory="64Gi"))
+        cluster = KubeCluster(engine, nodes)
+        for i in range(200):
+            cluster.api.create(Pod(f"p{i}", PodSpec(request=Resources.parse(cpu="1"))))
+        engine.run(until=120.0)
+        return sum(1 for p in cluster.pods() if p.is_running)
+
+    assert benchmark(run) == 200
+
+
+def test_real_jacobi_iteration_wall_time(benchmark):
+    """Wall time of real numpy stencil iterations through the runtime."""
+    from repro.apps.jacobi2d import Jacobi2D, JacobiConfig
+
+    def run():
+        engine = Engine()
+        rts = CharmRuntime(engine, num_pes=4)
+        app = Jacobi2D(JacobiConfig(n=128, blocks=4, steps=20))
+        engine.process(app.main(rts))
+        engine.run()
+        return app.completed_steps
+
+    assert benchmark(run) == 20

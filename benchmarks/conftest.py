@@ -1,0 +1,50 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure): it runs the
+experiment under ``pytest-benchmark`` timing, prints the rows/series the
+paper reports, and persists them under ``benchmarks/results/`` so the data
+survives pytest's output capture.
+
+Environment knobs:
+
+* ``REPRO_TRIALS`` — randomized trials per configuration for the Figure
+  7/8 sweeps (default 100, the paper's count).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def trials_from_env(default: int = 100) -> int:
+    return int(os.environ.get("REPRO_TRIALS", default))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist (and echo) one artifact's rendered output."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under benchmark timing.
+
+    The heavyweight experiments are deterministic; repeating them only to
+    tighten timing statistics would waste the budget.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

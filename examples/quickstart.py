@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: an elastic HPC job scheduler on a simulated EKS cluster.
+
+Builds the paper's 4-node (64 vCPU) Kubernetes topology, starts the
+Charm++ MPI operator and the priority-based elastic scheduler, submits
+three jobs of different priorities, and prints what happened — including
+the on-the-fly shrink of a low-priority job when a high-priority one
+arrives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import make_app_factory
+from repro.k8s import make_eks_cluster
+from repro.mpioperator import AppSpec, CharmJob, CharmJobController, CharmJobSpec, WorkerSpec
+from repro.scheduling import PolicyConfig
+from repro.scheduling.controller import ElasticSchedulerController
+from repro.sim import Engine
+
+
+def make_job(name: str, size_class: str, min_replicas: int, max_replicas: int,
+             priority: int) -> CharmJob:
+    """A CharmJob running the modeled Jacobi workload of one size class."""
+    return CharmJob(
+        name,
+        CharmJobSpec(
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            priority=priority,
+            worker=WorkerSpec.parse(cpu="1", memory="1Gi", shm="2Gi"),
+            app=AppSpec(name="modeled", params={"size_class": size_class}),
+            launcher_cpu=0.0,  # BestEffort launcher, as on the paper's cluster
+        ),
+    )
+
+
+def main() -> None:
+    engine = Engine()
+    cluster = make_eks_cluster(engine)  # 4 x c6g.4xlarge = 64 vCPUs
+    operator = CharmJobController(engine, cluster, app_factory=make_app_factory())
+    scheduler = ElasticSchedulerController(
+        engine, cluster, operator,
+        config=PolicyConfig(name="elastic", rescale_gap=60.0),
+    )
+
+    # A low-priority job that would happily take the whole cluster...
+    low = make_job("background-sweep", "large", min_replicas=8, max_replicas=32,
+                   priority=1)
+    # ...a second one filling the rest...
+    low2 = make_job("param-study", "medium", min_replicas=4, max_replicas=16,
+                    priority=1)
+    # ...and, 90 s later, an urgent job that needs room *now*.
+    urgent = make_job("deadline-run", "large", min_replicas=24, max_replicas=32,
+                      priority=5)
+
+    engine.schedule_at(0.0, scheduler.submit, low)
+    engine.schedule_at(5.0, scheduler.submit, low2)
+    engine.schedule_at(90.0, scheduler.submit, urgent)
+
+    engine.run(until=30_000.0)
+
+    print("=== job outcomes ===")
+    for outcome in sorted(scheduler.outcomes, key=lambda o: o.submit_time):
+        print(
+            f"  {outcome.name:>16}: priority={outcome.priority} "
+            f"response={outcome.response_time:7.1f}s "
+            f"turnaround={outcome.turnaround_time:8.1f}s "
+            f"rescales={outcome.rescale_count}"
+        )
+    print("\n=== cluster metrics (paper §4.3 definitions) ===")
+    print("  " + scheduler.metrics("elastic").describe())
+    print(
+        "\nThe low-priority jobs started at their maximum sizes, were shrunk "
+        "when 'deadline-run' arrived, and were expanded again as capacity "
+        "freed up — no checkpoint-to-disk, no restart-from-scratch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Compare the four scheduling policies with the paper's simulator (§4.3.1).
+
+Runs the 16-random-job workload under elastic / moldable / rigid-min /
+rigid-max across several submission rates and prints the Table-1-style
+comparison plus one Figure-7 panel as an ASCII chart.
+
+Run:  python examples/scheduler_comparison.py [trials]
+"""
+
+import sys
+
+from repro.experiments import render_chart
+from repro.schedsim import (
+    compare_policies,
+    format_policy_table,
+    format_sweep,
+    sweep_submission_gap,
+)
+
+
+def main(trials: int = 25) -> None:
+    print(f"averaging {trials} random 16-job workloads per configuration\n")
+
+    stats = compare_policies(submission_gap=90.0, rescale_gap=180.0, trials=trials)
+    print(format_policy_table(
+        stats, title="Policy comparison @ submission gap 90 s, T_rescale_gap 180 s"
+    ))
+
+    print("\nsweeping the submission gap (Figure 7a) ...\n")
+    sweep = sweep_submission_gap(gaps=(0.0, 75.0, 150.0, 225.0, 300.0),
+                                 trials=max(5, trials // 3))
+    series = {p: sweep.series(p, "utilization") for p in sweep.policies()}
+    print(render_chart(series, title="Cluster utilization vs submission gap",
+                       y_label="util"))
+    print()
+    print(format_sweep(sweep, "utilization"))
+    print(
+        "\nTakeaways (matching the paper): the elastic scheduler sustains the "
+        "highest utilization at every traffic level; min_replicas starts jobs "
+        "fastest but finishes them slowest; the baselines converge once jobs "
+        "stop overlapping."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 25)

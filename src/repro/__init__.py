@@ -1,0 +1,26 @@
+"""repro — reproduction of "An elastic job scheduler for HPC applications on the cloud".
+
+The package is organised as a stack of substrates:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+* :mod:`repro.k8s` — Kubernetes cluster substrate (API server, scheduler,
+  kubelets, CRDs).
+* :mod:`repro.charm` — Charm++ migratable-objects runtime with
+  shrink/expand.
+* :mod:`repro.mpioperator` — the extended Kubeflow-style MPI operator that
+  runs Charm++ jobs on the cluster.
+* :mod:`repro.scheduling` — ★ the paper's contribution: the priority-based
+  elastic scheduling policy and its three baselines.
+* :mod:`repro.perfmodel` / :mod:`repro.apps` — performance models and the
+  Jacobi2D / LeanMD applications.
+* :mod:`repro.schedsim` — the paper's scheduler-performance simulator.
+* :mod:`repro.experiments` — drivers regenerating every paper figure/table.
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,38 @@
+"""Applications: real-compute Jacobi2D/LeanMD and modeled equivalents.
+
+Public surface::
+
+    from repro.apps import (
+        CharmApplication, RescaleDecision,
+        Jacobi2D, JacobiConfig, LeanMD, LeanMDConfig,
+        ModeledApp, make_app_factory,
+    )
+"""
+
+from .base import CharmApplication, RescaleDecision
+
+__all__ = ["CharmApplication", "RescaleDecision"]
+
+# Concrete applications are imported lazily at the bottom once defined; the
+# registry below is filled in by repro.apps.registry.
+from .evolving import EfficiencyDecision, EvolvingApp, EvolvingConfig
+from .jacobi2d import Jacobi2D, JacobiConfig, jacobi_reference
+from .leanmd import LeanMD, LeanMDConfig
+from .modeled import ModeledApp, ModeledAppConfig
+from .registry import make_app_factory, register_app, registered_apps
+
+__all__ += [
+    "Jacobi2D",
+    "JacobiConfig",
+    "jacobi_reference",
+    "LeanMD",
+    "LeanMDConfig",
+    "ModeledApp",
+    "ModeledAppConfig",
+    "EvolvingApp",
+    "EvolvingConfig",
+    "EfficiencyDecision",
+    "make_app_factory",
+    "register_app",
+    "registered_apps",
+]

@@ -1,0 +1,251 @@
+"""Application driver base class.
+
+A :class:`CharmApplication` is what the launcher pod's ``mpirun`` runs: it
+builds chare arrays, iterates, and cooperates with the rescale protocol.
+Per §2.2, "the application triggers rescaling during the next
+load-balancing step after receiving the signal" — the driver loop here
+checks for a pending CCS rescale request at every sync point (every
+``sync_every`` iterations) and acknowledges it once the shrink/expand
+completes, which is exactly when the operator may delete/attach pods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..charm import CcsRequest, CcsServer, CharmRuntime, RescaleReport, perform_rescale
+from ..charm.pe import HostBinding
+from ..errors import CheckpointError, RescaleError
+
+__all__ = ["CharmApplication", "RescaleDecision"]
+
+
+class RescaleDecision:
+    """Application-side veto hook (paper §6, future work).
+
+    The paper proposes letting applications accept or decline a rescale
+    based on remaining work and parallel efficiency.  The default accepts
+    everything, matching the evaluated system; the extension policies live
+    in :mod:`repro.scheduling.extensions`.
+    """
+
+    def should_accept(self, app: "CharmApplication", target: int) -> bool:  # noqa: ARG002
+        return True
+
+
+class CharmApplication:
+    """Base class for applications driven by the operator's launcher.
+
+    Subclasses implement :meth:`setup` and either :meth:`step` (real-compute
+    apps: one generator per iteration) or :meth:`run_block` (modeled apps:
+    advance a whole sync block of iterations in one virtual-time hop).
+
+    Parameters
+    ----------
+    total_steps:
+        Iterations to run.
+    sync_every:
+        Iterations between load-balancing sync points — the only places a
+        rescale can happen.
+    record_iterations:
+        Keep a per-sync-block timeline (time, completed_steps) for
+        Figure-6-style plots.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        total_steps: int,
+        sync_every: int = 10,
+        lb_strategy: str = "greedy",
+        record_iterations: bool = True,
+        decision: Optional[RescaleDecision] = None,
+        ft_store=None,
+        disk_checkpoint_every: Optional[int] = None,
+    ):
+        if total_steps < 1:
+            raise ValueError("total_steps must be positive")
+        if sync_every < 1:
+            raise ValueError("sync_every must be positive")
+        if disk_checkpoint_every is not None and ft_store is None:
+            raise ValueError("disk_checkpoint_every requires an ft_store")
+        self.name = name
+        self.total_steps = int(total_steps)
+        self.sync_every = int(sync_every)
+        self.lb_strategy = lb_strategy
+        self.record_iterations = record_iterations
+        self.decision = decision or RescaleDecision()
+        #: Optional fault tolerance (§3.2.2): a shared-filesystem
+        #: checkpoint store and the period (in iterations) between disk
+        #: checkpoints.  On startup, an existing checkpoint is restored
+        #: (the '+restart' command-line behaviour).
+        self.ft_store = ft_store
+        self.disk_checkpoint_every = disk_checkpoint_every
+        self.restored_from_step: Optional[int] = None
+        self.completed_steps = 0
+        self.iteration_log: List[Tuple[float, int]] = []
+        self.rescale_reports: List[RescaleReport] = []
+        self._pending: Optional[Tuple[int, Optional[Sequence[HostBinding]], CcsRequest]] = None
+        self._rts: Optional[CharmRuntime] = None
+
+    # ------------------------------------------------------------------
+    # Operator integration
+    # ------------------------------------------------------------------
+
+    def attach_ccs(self, server: CcsServer) -> None:
+        """Register the rescale control endpoint on the app's CCS server."""
+        server.register("rescale", self._on_rescale_request)
+        server.register("status", self._on_status_request)
+
+    def _on_rescale_request(self, request: CcsRequest) -> None:
+        payload: Dict[str, Any] = request.payload or {}
+        target = payload.get("target")
+        if not isinstance(target, int) or target < 1:
+            request.reject(f"invalid rescale target {target!r}")
+            return
+        if self._pending is not None:
+            request.reject("a rescale is already pending")
+            return
+        if not self.decision.should_accept(self, target):
+            request.reject("application declined the rescale")
+            return
+        self._pending = (target, payload.get("hosts"), request)
+
+    def _on_status_request(self, request: CcsRequest) -> None:
+        request.reply(
+            {
+                "name": self.name,
+                "completed_steps": self.completed_steps,
+                "total_steps": self.total_steps,
+                "num_pes": self._rts.num_pes if self._rts else 0,
+            }
+        )
+
+    @property
+    def progress(self) -> float:
+        """Fraction of iterations completed (0..1)."""
+        return self.completed_steps / self.total_steps
+
+    @property
+    def rescale_pending(self) -> bool:
+        return self._pending is not None
+
+    # ------------------------------------------------------------------
+    # Subclass API
+    # ------------------------------------------------------------------
+
+    def setup(self, rts: CharmRuntime) -> None:
+        """Create chare arrays.  Called once at startup and never again —
+        chares survive rescales through checkpoint/restore."""
+        raise NotImplementedError
+
+    def step(self, rts: CharmRuntime, index: int):
+        """Generator advancing one iteration (real-compute apps)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator
+
+    def run_block(self, rts: CharmRuntime, start_step: int, num_steps: int):
+        """Generator advancing ``num_steps`` iterations between sync points.
+
+        The default delegates to :meth:`step` per iteration; modeled apps
+        override it with a single virtual-time hop.
+        """
+        for i in range(num_steps):
+            yield from self.step(rts, start_step + i)
+
+    def finalize(self, rts: CharmRuntime) -> None:
+        """Hook run after the last iteration (reductions, verification)."""
+
+    # ------------------------------------------------------------------
+    # Main driver
+    # ------------------------------------------------------------------
+
+    def main(self, rts: CharmRuntime):
+        """The launcher's driver generator: run to completion.
+
+        Returns the application object itself (handy for runners).
+        """
+        self._rts = rts
+        self.setup(rts)
+        yield rts.wait_quiescence()
+        yield from self._maybe_restore_from_disk(rts)
+        self._record(rts)
+        while self.completed_steps < self.total_steps:
+            block = min(self.sync_every, self.total_steps - self.completed_steps)
+            yield from self.run_block(rts, self.completed_steps, block)
+            self.completed_steps += block
+            yield rts.wait_quiescence()
+            self._record(rts)
+            if self._pending is not None and self.completed_steps < self.total_steps:
+                yield from self._apply_pending_rescale(rts)
+                self._record(rts)
+            yield from self._maybe_disk_checkpoint(rts)
+        self.finalize(rts)
+        yield rts.wait_quiescence()
+        # A rescale arriving in the final block is declined: the job is done.
+        if self._pending is not None:
+            _, _, request = self._pending
+            self._pending = None
+            request.reject("application finished before the rescale")
+        return self
+
+    def _apply_pending_rescale(self, rts: CharmRuntime):
+        target, hosts, request = self._pending
+        self._pending = None
+        try:
+            report = yield from perform_rescale(
+                rts, target, hosts=hosts, lb_strategy=self.lb_strategy
+            )
+        except (RescaleError, CheckpointError) as err:
+            # The rescale could not proceed (e.g. the checkpoint exceeds a
+            # pod's /dev/shm).  The application keeps running at its current
+            # size; the operator reconciles the spec back.
+            request.reject(str(err))
+            return
+        self.rescale_reports.append(report)
+        self.on_rescaled(rts, report)
+        request.reply({"replicas": rts.num_pes, "stages": report.row()})
+
+    def on_rescaled(self, rts: CharmRuntime, report: RescaleReport) -> None:
+        """Hook after a completed rescale (e.g. re-derive neighbor maps)."""
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (§3.2.2)
+    # ------------------------------------------------------------------
+
+    def _maybe_restore_from_disk(self, rts: CharmRuntime):
+        if self.ft_store is None or not self.ft_store.has(self.name):
+            return
+        checkpoint = self.ft_store.read(self.name)
+        self.ft_store.restore_into(rts, checkpoint)
+        self.completed_steps = min(checkpoint.completed_steps, self.total_steps)
+        self.restored_from_step = checkpoint.completed_steps
+        yield checkpoint.io_seconds
+
+    def _maybe_disk_checkpoint(self, rts: CharmRuntime):
+        if (
+            self.disk_checkpoint_every is None
+            or self.completed_steps >= self.total_steps
+            or self.completed_steps % self.disk_checkpoint_every != 0
+        ):
+            return
+        checkpoint = self.ft_store.write(rts, self.name, self.completed_steps)
+        yield checkpoint.io_seconds
+
+    def _record(self, rts: CharmRuntime) -> None:
+        if self.record_iterations:
+            self.iteration_log.append((rts.engine.now, self.completed_steps))
+
+    # ------------------------------------------------------------------
+
+    def timeline(self) -> List[Tuple[float, int]]:
+        """(virtual time, completed iterations) samples — Figure 6b data."""
+        return list(self.iteration_log)
+
+    def block_durations(self) -> List[Tuple[int, float]]:
+        """(iteration, seconds for the preceding block) — Figure 6a data."""
+        out = []
+        for (t0, _s0), (t1, s1) in zip(self.iteration_log, self.iteration_log[1:]):
+            if s1 > _s0:  # skip rescale-only records
+                out.append((s1, t1 - t0))
+        return out

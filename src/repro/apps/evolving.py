@@ -1,0 +1,142 @@
+"""Evolving jobs and application-side rescale decisions (§6, future work).
+
+Two of the paper's proposed extensions, implemented on the substrate the
+evaluated system already provides:
+
+* :class:`EfficiencyDecision` — "the application can ... decline a
+  scaling-up command if the parallel efficiency of the job, as measured by
+  runtime instrumentation, is lower than a specified threshold", and
+  decline any rescale "if only a small fraction of the application run
+  remains".
+* :class:`EvolvingApp` — "unlike elastic jobs, where the rescaling signal
+  is sent from an external scheduler, evolving jobs can rescale at runtime
+  based on internal, application-specific criteria without any external
+  trigger" — e.g. dynamic refinement in a numerical solver.  Here the
+  per-step workload follows a phase schedule, and the application itself
+  initiates shrink/expand at sync points to track it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..charm import CharmRuntime, perform_rescale
+from .base import CharmApplication, RescaleDecision
+
+__all__ = ["EfficiencyDecision", "EvolvingApp", "EvolvingConfig"]
+
+
+class EfficiencyDecision(RescaleDecision):
+    """Accept/decline rescale requests on efficiency and progress grounds.
+
+    Parameters
+    ----------
+    min_efficiency:
+        Decline an *expand* whose projected parallel efficiency at the
+        target size (measured from the application's own step model)
+        falls below this threshold.
+    max_progress:
+        Decline any rescale once this fraction of the run is complete —
+        the remaining benefit cannot amortize the overhead.
+    step_time:
+        ``step_time(replicas) -> seconds``; the application's runtime
+        instrumentation.  Without it only the progress rule applies.
+    """
+
+    def __init__(
+        self,
+        min_efficiency: float = 0.5,
+        max_progress: float = 0.9,
+        step_time: Optional[Callable[[int], float]] = None,
+    ):
+        if not (0.0 < max_progress <= 1.0):
+            raise ValueError("max_progress must be in (0, 1]")
+        self.min_efficiency = float(min_efficiency)
+        self.max_progress = float(max_progress)
+        self.step_time = step_time
+        self.declined: List[Tuple[int, str]] = []
+
+    def should_accept(self, app: CharmApplication, target: int) -> bool:
+        if app.progress >= self.max_progress:
+            self.declined.append((target, "nearly finished"))
+            return False
+        rts = app._rts
+        if self.step_time is not None and rts is not None and target > rts.num_pes:
+            current = rts.num_pes
+            efficiency = (
+                self.step_time(current) / self.step_time(target)
+            ) * (current / target)
+            if efficiency < self.min_efficiency:
+                self.declined.append((target, f"efficiency {efficiency:.2f}"))
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class EvolvingConfig:
+    """Phase schedule for an evolving job.
+
+    ``phases`` is a sequence of ``(steps, step_time_fn, desired_pes)``:
+    after entering a phase the application rescales itself to
+    ``desired_pes`` at the next sync point (modelling e.g. mesh
+    refinement doubling the work).
+    """
+
+    phases: Sequence[Tuple[int, Callable[[int], float], int]]
+    sync_every: int = 10
+
+    @property
+    def total_steps(self) -> int:
+        return sum(steps for steps, _, _ in self.phases)
+
+
+class EvolvingApp(CharmApplication):
+    """An application that rescales itself from internal criteria (§6)."""
+
+    def __init__(self, config: EvolvingConfig, max_pes: Optional[int] = None,
+                 **kwargs):
+        kwargs.setdefault("sync_every", config.sync_every)
+        kwargs.setdefault("record_iterations", True)
+        super().__init__(name="evolving", total_steps=config.total_steps, **kwargs)
+        self.config = config
+        self.max_pes = max_pes
+        self.self_rescales: List[Tuple[int, int, int]] = []  # (step, old, new)
+
+    # ------------------------------------------------------------------
+
+    def setup(self, rts: CharmRuntime) -> None:
+        from .modeled import ModelChare
+
+        chares = max(2 * self._max_desired(), rts.num_pes)
+        self.proxy = rts.create_array(ModelChare, range(chares), args=(1 << 16,))
+
+    def _max_desired(self) -> int:
+        return max(pes for _, _, pes in self.config.phases)
+
+    def _phase_at(self, step: int):
+        cursor = 0
+        for steps, fn, pes in self.config.phases:
+            cursor += steps
+            if step < cursor:
+                return fn, pes
+        return self.config.phases[-1][1], self.config.phases[-1][2]
+
+    def run_block(self, rts: CharmRuntime, start_step: int, num_steps: int):
+        step_fn, _ = self._phase_at(start_step)
+        dt = step_fn(rts.num_pes) * num_steps
+        if dt > 0:
+            yield dt
+        # Internal trigger: after the block, check whether the current
+        # phase wants a different size and rescale *ourselves*.
+        _, desired = self._phase_at(start_step + num_steps)
+        if self.max_pes is not None:
+            desired = min(desired, self.max_pes)
+        if desired != rts.num_pes:
+            yield rts.wait_quiescence()
+            old = rts.num_pes
+            report = yield from perform_rescale(
+                rts, desired, lb_strategy=self.lb_strategy
+            )
+            self.rescale_reports.append(report)
+            self.self_rescales.append((start_step + num_steps, old, desired))

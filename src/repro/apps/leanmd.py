@@ -1,0 +1,204 @@
+"""LeanMD: the paper's compute-intensive evaluation app (§4.1).
+
+"A molecular dynamics application that simulates atoms considering only
+the Lennard-Jones potential ... The simulation computes forces between
+atoms in the cells iteratively."
+
+The domain is a periodic unit cube partitioned into a 3D cell grid; each
+cell is a chare owning its atoms' positions and velocities.  Every step
+cells exchange positions with their 26-neighbor shell, compute pairwise
+clipped-LJ forces (own + neighbor atoms), integrate, and contribute the
+kinetic energy to a reduction.  Atoms migrate to the owning cell whenever
+they cross a boundary, so cell populations evolve — which is exactly the
+load-imbalance the Charm++ load balancer exists for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..charm import Chare, CharmRuntime
+from ..sim.rng import stream
+from .base import CharmApplication
+
+__all__ = ["LeanMD", "LeanMDConfig", "LeanMDCell"]
+
+
+@dataclass(frozen=True)
+class LeanMDConfig:
+    """Simulation parameters (kept mild so integration stays stable)."""
+
+    cells: Tuple[int, int, int] = (3, 3, 3)
+    atoms_per_cell: int = 8
+    steps: int = 20
+    dt: float = 5.0e-4
+    epsilon: float = 1.0e-3       # LJ well depth (weak: keeps motion tame)
+    sigma: float = 0.05           # LJ length scale
+    force_cap: float = 50.0       # clipped LJ avoids blow-ups
+    migrate_every: int = 5
+    compute_per_pair: float = 2.0e-8
+    seed: int = 1234
+
+    @property
+    def num_cells(self) -> int:
+        cx, cy, cz = self.cells
+        return cx * cy * cz
+
+    @property
+    def cell_size(self) -> Tuple[float, float, float]:
+        cx, cy, cz = self.cells
+        return (1.0 / cx, 1.0 / cy, 1.0 / cz)
+
+
+class LeanMDCell(Chare):
+    """One spatial cell owning its atoms."""
+
+    def __init__(self, index: Tuple[int, int, int], config: LeanMDConfig):
+        super().__init__(index)
+        self.config = config
+        rng = stream(config.seed, f"leanmd-cell-{index}")
+        size = np.array(config.cell_size)
+        origin = np.array(index, dtype=float) * size
+        self.positions = origin + rng.random((config.atoms_per_cell, 3)) * size
+        self.velocities = np.zeros_like(self.positions)
+        self.step_count = 0
+        self._neighbor_positions: Dict[tuple, np.ndarray] = {}
+        self._sent = False
+        self._expected = len(self._neighbors())
+        self._incoming_atoms = []
+
+    # ------------------------------------------------------------------
+
+    def _neighbors(self):
+        cx, cy, cz = self.config.cells
+        ix, iy, iz = self.index
+        out = []
+        for dx, dy, dz in itertools.product((-1, 0, 1), repeat=3):
+            if (dx, dy, dz) == (0, 0, 0):
+                continue
+            key = ((ix + dx) % cx, (iy + dy) % cy, (iz + dz) % cz)
+            if key != self.index and key not in out:
+                out.append(key)
+        return out
+
+    def exchange(self):
+        """Broadcast positions to the neighbor shell (periodic)."""
+        for neighbor in self._neighbors():
+            self.proxy[neighbor].neighbor_positions(
+                self.index, self.positions.copy()
+            )
+        self._sent = True
+        self._maybe_integrate()
+
+    def neighbor_positions(self, source: tuple, positions: np.ndarray):
+        self._neighbor_positions[tuple(source)] = positions
+        self._maybe_integrate()
+
+    def _maybe_integrate(self):
+        if not self._sent or len(self._neighbor_positions) != self._expected:
+            return
+        neighbor_stack = (
+            np.vstack(list(self._neighbor_positions.values()))
+            if self._neighbor_positions
+            else np.zeros((0, 3))
+        )
+        self._neighbor_positions = {}
+        self._sent = False
+        self._integrate(neighbor_stack)
+
+    def _integrate(self, neighbor_positions: np.ndarray):
+        cfg = self.config
+        pos, vel = self.positions, self.velocities
+        n = len(pos)
+        force = np.zeros_like(pos)
+        others = np.vstack([pos, neighbor_positions]) if n else neighbor_positions
+        pair_count = 0
+        if n and len(others):
+            # Minimum-image displacement to every other atom.
+            delta = pos[:, None, :] - others[None, :, :]
+            delta -= np.round(delta)
+            dist_sq = np.sum(delta * delta, axis=-1)
+            # Mask self-interactions.
+            idx = np.arange(n)
+            dist_sq[idx, idx] = np.inf
+            dist_sq = np.maximum(dist_sq, 1e-8)
+            sr6 = (cfg.sigma**2 / dist_sq) ** 3
+            # |F| = 24ε(2·sr12 − sr6)/r, clipped for stability.
+            magnitude = 24.0 * cfg.epsilon * (2.0 * sr6 * sr6 - sr6) / dist_sq
+            magnitude = np.clip(magnitude, -cfg.force_cap, cfg.force_cap)
+            force = np.sum(magnitude[:, :, None] * delta, axis=1)
+            pair_count = n * len(others)
+        vel += cfg.dt * force
+        pos += cfg.dt * vel
+        pos %= 1.0
+        self.step_count += 1
+        self.charge(cfg.compute_per_pair * max(pair_count, 1))
+        kinetic = 0.5 * float(np.sum(vel * vel))
+        self.contribute(kinetic, "sum")
+
+    # Atom migration -------------------------------------------------------
+
+    def migrate_atoms(self):
+        """Hand off atoms that wandered out of this cell's box."""
+        cfg = self.config
+        size = np.array(cfg.cell_size)
+        owners = np.floor(self.positions / size).astype(int)
+        owners = owners % np.array(cfg.cells)
+        mine = np.all(owners == np.array(self.index), axis=1)
+        if not np.all(mine):
+            leaving = ~mine
+            by_owner: Dict[tuple, list] = {}
+            for row in np.nonzero(leaving)[0]:
+                by_owner.setdefault(tuple(owners[row]), []).append(row)
+            for owner, rows in sorted(by_owner.items()):
+                self.proxy[owner].receive_atoms(
+                    self.positions[rows].copy(), self.velocities[rows].copy()
+                )
+            self.positions = self.positions[mine]
+            self.velocities = self.velocities[mine]
+        self.charge(1e-6)
+
+    def receive_atoms(self, positions: np.ndarray, velocities: np.ndarray):
+        self.positions = np.vstack([self.positions, positions])
+        self.velocities = np.vstack([self.velocities, velocities])
+
+    @property
+    def atom_count(self) -> int:
+        return len(self.positions)
+
+
+class LeanMD(CharmApplication):
+    """Driver: force step every iteration; atom migration periodically."""
+
+    def __init__(self, config: LeanMDConfig, **kwargs):
+        kwargs.setdefault("sync_every", config.migrate_every)
+        super().__init__(
+            name=f"leanmd-{config.cells}", total_steps=config.steps, **kwargs
+        )
+        self.config = config
+        self.proxy = None
+        self.energy_history = []
+
+    def setup(self, rts: CharmRuntime) -> None:
+        cx, cy, cz = self.config.cells
+        indices = [
+            (i, j, k) for i in range(cx) for j in range(cy) for k in range(cz)
+        ]
+        self.proxy = rts.create_array(
+            LeanMDCell, indices, args=(self.config,), mapping="block"
+        )
+
+    def step(self, rts: CharmRuntime, index: int):
+        self.proxy.broadcast("exchange")
+        kinetic = yield rts.next_reduction(self.proxy)
+        self.energy_history.append(kinetic)
+        if (index + 1) % self.config.migrate_every == 0:
+            self.proxy.broadcast("migrate_atoms")
+            yield rts.wait_quiescence()
+
+    def total_atoms(self, rts: CharmRuntime) -> int:
+        return sum(c.atom_count for c in rts.elements(self.proxy.array_id))

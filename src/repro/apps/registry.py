@@ -1,0 +1,84 @@
+"""Application registry: resolve an :class:`AppSpec` into an application.
+
+The operator's launcher looks applications up by name; job parameters come
+from the CharmJob spec, so YAML-equivalent job definitions fully describe
+what runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ReproError
+from .base import CharmApplication
+from .jacobi2d import Jacobi2D, JacobiConfig
+from .leanmd import LeanMD, LeanMDConfig
+from .modeled import ModeledApp, ModeledAppConfig
+
+__all__ = ["register_app", "make_app_factory", "registered_apps"]
+
+Factory = Callable[[object], CharmApplication]
+
+_REGISTRY: Dict[str, Factory] = {}
+
+
+def register_app(name: str, factory: Factory) -> None:
+    """Register ``factory(job) -> CharmApplication`` under ``name``."""
+    if name in _REGISTRY:
+        raise ReproError(f"app {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def registered_apps():
+    return sorted(_REGISTRY)
+
+
+def _build_jacobi(job) -> CharmApplication:
+    params = dict(job.spec.app.params)
+    params.pop("size_class", None)
+    config = JacobiConfig(**params)
+    return Jacobi2D(config)
+
+
+def _build_leanmd(job) -> CharmApplication:
+    params = dict(job.spec.app.params)
+    params.pop("size_class", None)
+    if "cells" in params:
+        params["cells"] = tuple(params["cells"])
+    config = LeanMDConfig(**params)
+    return LeanMD(config)
+
+
+def _build_modeled(job) -> CharmApplication:
+    """Modeled app from a §4.3.1 size class (params: size_class, ...)."""
+    params = dict(job.spec.app.params)
+    size_name = params.pop("size_class")
+    config = ModeledAppConfig.named(size_name, **params)
+    return ModeledApp(config)
+
+
+register_app("jacobi2d", _build_jacobi)
+register_app("leanmd", _build_leanmd)
+register_app("modeled", _build_modeled)
+
+
+def make_app_factory(**overrides: Factory) -> Factory:
+    """The operator's ``app_factory``: dispatch on ``job.spec.app.name``.
+
+    ``overrides`` add or replace registry entries for this factory only.
+    """
+    table = dict(_REGISTRY)
+    table.update(overrides)
+
+    def factory(job) -> CharmApplication:
+        name = job.spec.app.name
+        try:
+            build = table[name]
+        except KeyError:
+            raise ReproError(
+                f"job {job.name!r} wants unknown app {name!r}; "
+                f"registered: {sorted(table)}"
+            ) from None
+        return build(job)
+
+    return factory

@@ -1,0 +1,59 @@
+"""Charm++ runtime substrate.
+
+Public surface::
+
+    from repro.charm import (
+        CharmRuntime, Chare, ArrayProxy, PE, HostBinding,
+        CommLayer, MPI_LAYER, NETLRTS_LAYER,
+        CcsServer, CcsClient, perform_rescale, RescaleReport,
+        checkpoint_to_shm, restore_from_shm, CheckpointImage,
+        greedy_lb, refine_lb, LBResult,
+    )
+"""
+
+from .ccs import CcsClient, CcsRequest, CcsServer
+from .chare import ArrayProxy, Chare, ChareArray, ElementProxy
+from .checkpoint import CheckpointImage, checkpoint_to_shm, restore_from_shm
+from .commlayer import MPI_LAYER, NETLRTS_LAYER, CommLayer, layer_by_name
+from .faulttolerance import DiskCheckpoint, DiskCheckpointStore
+from .loadbalance import LBResult, get_strategy, greedy_lb, refine_lb
+from .location import LocationManager
+from .message import ENVELOPE_HEADER_BYTES, Envelope, payload_bytes
+from .pe import PE, HostBinding
+from .reduction import REDUCERS, ReductionManager
+from .rescale import RescaleReport, perform_rescale
+from .rts import CharmRuntime
+
+__all__ = [
+    "CharmRuntime",
+    "Chare",
+    "ChareArray",
+    "ArrayProxy",
+    "ElementProxy",
+    "PE",
+    "HostBinding",
+    "LocationManager",
+    "Envelope",
+    "payload_bytes",
+    "ENVELOPE_HEADER_BYTES",
+    "CommLayer",
+    "MPI_LAYER",
+    "NETLRTS_LAYER",
+    "layer_by_name",
+    "CcsServer",
+    "CcsClient",
+    "CcsRequest",
+    "ReductionManager",
+    "REDUCERS",
+    "LBResult",
+    "greedy_lb",
+    "refine_lb",
+    "get_strategy",
+    "CheckpointImage",
+    "checkpoint_to_shm",
+    "restore_from_shm",
+    "RescaleReport",
+    "perform_rescale",
+    "DiskCheckpoint",
+    "DiskCheckpointStore",
+]

@@ -1,0 +1,116 @@
+"""Converse Client-Server (CCS): external control of a running application.
+
+The operator signals rescales to the Charm++ application through CCS
+(§2.2: "Rescaling is initiated by sending a signal to the Charm++
+application from an external program using the Converse Client-Server
+interface").  Handlers are registered per tag; requests are acknowledged
+asynchronously — a shrink's ack, for instance, only arrives after the next
+load-balancing step completes the rescale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import CcsError, CcsTimeout
+from ..sim import AnyOf, Event
+
+__all__ = ["CcsServer", "CcsClient", "CcsRequest"]
+
+#: Network round-trip cost of a CCS request/reply.
+CCS_LATENCY = 0.002
+
+
+class CcsRequest:
+    """One in-flight CCS request; the server completes it via ``reply``."""
+
+    def __init__(self, engine, tag: str, payload: Any):
+        self.engine = engine
+        self.tag = tag
+        self.payload = payload
+        self.done = Event(engine, name=f"ccs:{tag}")
+
+    def reply(self, value: Any = None) -> None:
+        """Acknowledge the request with ``value``."""
+        self.engine.schedule(CCS_LATENCY, self.done.succeed, value)
+
+    def reject(self, reason: str) -> None:
+        """Fail the request (delivered to the client as :class:`CcsError`)."""
+        self.engine.schedule(CCS_LATENCY, self.done.fail, CcsError(reason))
+
+
+class CcsServer:
+    """The application-side CCS endpoint."""
+
+    def __init__(self, engine, tracer=None):
+        self.engine = engine
+        self.tracer = tracer
+        self._handlers: Dict[str, Callable[[CcsRequest], None]] = {}
+        self.request_count = 0
+
+    def register(self, tag: str, handler: Callable[[CcsRequest], None]) -> None:
+        """Register ``handler(request)`` for ``tag``.
+
+        The handler may reply immediately or hold the request and reply
+        later (e.g. after a rescale completes).
+        """
+        if tag in self._handlers:
+            raise CcsError(f"CCS tag {tag!r} already registered")
+        self._handlers[tag] = handler
+
+    def deregister(self, tag: str) -> None:
+        self._handlers.pop(tag, None)
+
+    def handles(self, tag: str) -> bool:
+        return tag in self._handlers
+
+    def _receive(self, request: CcsRequest) -> None:
+        self.request_count += 1
+        if self.tracer is not None:
+            self.tracer.emit("charm.ccs", f"request {request.tag}", payload=request.payload)
+        handler = self._handlers.get(request.tag)
+        if handler is None:
+            request.reject(f"no CCS handler for tag {request.tag!r}")
+            return
+        handler(request)
+
+
+class CcsClient:
+    """The external-program side (used by the operator's rescaler)."""
+
+    def __init__(self, engine, server: CcsServer):
+        self.engine = engine
+        self.server = server
+
+    def request(self, tag: str, payload: Any = None,
+                timeout: Optional[float] = None) -> Event:
+        """Send a request; returns an event with the reply value.
+
+        With ``timeout``, the returned event fails with :class:`CcsTimeout`
+        if no reply arrives in time (the server-side handler may still run).
+        """
+        req = CcsRequest(self.engine, tag, payload)
+        self.engine.schedule(CCS_LATENCY, self.server._receive, req)
+        if timeout is None:
+            return req.done
+        return self._with_timeout(req, timeout)
+
+    def _with_timeout(self, req: CcsRequest, timeout: float) -> Event:
+        result = Event(self.engine, name=f"ccs:{req.tag}:deadline")
+        deadline = self.engine.timeout(timeout, "__timeout__")
+        race = AnyOf(self.engine, [req.done, deadline])
+
+        def settle(ev) -> None:
+            if ev.exception is not None:
+                result.fail(ev.exception)
+                return
+            index, value = ev.value
+            if index == 0:
+                result.succeed(value)
+            else:
+                result.fail(
+                    CcsTimeout(f"CCS request {req.tag!r} timed out after {timeout}s")
+                )
+
+        race.add_callback(settle)
+        return result

@@ -1,0 +1,129 @@
+"""In-memory checkpoint/restore to Linux shared memory.
+
+§2.2: "the application's state is checkpointed and the application is
+restarted with the new resources.  The checkpointing is performed in Linux
+shared memory to avoid the high latency of reading from and writing to
+disk."
+
+This module performs a *real* checkpoint: every chare is pickled into a
+per-PE shared-memory segment image.  Segment sizes are validated against
+each PE's /dev/shm capacity (worker pods default to 64 MiB unless the
+operator mounts the memory-backed emptyDir — §3.1), so an undersized mount
+fails exactly where it would on a real cluster.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..errors import CheckpointError
+from .rts import CharmRuntime
+
+__all__ = ["CheckpointImage", "checkpoint_to_shm", "restore_from_shm"]
+
+#: Per-segment metadata overhead (headers, directory) in bytes.
+SEGMENT_OVERHEAD_BYTES = 4096
+
+
+@dataclass
+class CheckpointImage:
+    """A checkpoint of all chare state, laid out as per-PE shm segments."""
+
+    #: pe_id -> serialized segment (a real pickle byte-string).
+    segments: Dict[int, bytes] = field(default_factory=dict)
+    #: pe_id -> accounted segment size (serialized + virtual PUP bytes).
+    sizes: Dict[int, int] = field(default_factory=dict)
+    #: Element directory: (array_id, index) -> source pe.
+    directory: Dict[Tuple[int, Any], int] = field(default_factory=dict)
+    #: Wall-clock-model bookkeeping.
+    created_at: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sizes.values())
+
+    @property
+    def max_segment_bytes(self) -> int:
+        return max(self.sizes.values(), default=0)
+
+    def element_count(self) -> int:
+        return len(self.directory)
+
+
+def checkpoint_to_shm(rts: CharmRuntime) -> CheckpointImage:
+    """Serialize every chare into per-PE shared-memory segments.
+
+    Raises :class:`CheckpointError` if any PE's segment exceeds its pod's
+    /dev/shm capacity, or if the runtime is not quiescent (checkpoints only
+    happen at the load-balancing sync point, §2.2).
+    """
+    if not rts.quiescent:
+        raise CheckpointError("checkpoint requires quiescence (AtSync)")
+    image = CheckpointImage(created_at=rts.engine.now)
+    per_pe: Dict[int, List[Tuple[int, Any, Any]]] = {}
+    for array_id, index in rts.snapshot_elements():
+        pe_id = rts.location_of(array_id, index)
+        chare = rts.element(array_id, index)
+        per_pe.setdefault(pe_id, []).append((array_id, index, chare))
+        image.directory[(array_id, index)] = pe_id
+    for pe in rts.pes:
+        entries = per_pe.get(pe.id, [])
+        payload = [
+            (array_id, index, type(chare), chare.__getstate__())
+            for array_id, index, chare in entries
+        ]
+        segment = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        virtual = sum(chare.pup_extra_bytes() for _, _, chare in entries)
+        seg_size = len(segment) + virtual + SEGMENT_OVERHEAD_BYTES
+        if seg_size > pe.host.shm_bytes:
+            raise CheckpointError(
+                f"checkpoint segment for PE {pe.id} is {seg_size} bytes but "
+                f"pod {pe.host.pod_name} has only {pe.host.shm_bytes} bytes of "
+                "/dev/shm — mount a larger memory-backed emptyDir (§3.1)"
+            )
+        image.segments[pe.id] = segment
+        image.sizes[pe.id] = seg_size
+    return image
+
+
+def restore_from_shm(rts: CharmRuntime, image: CheckpointImage,
+                     mapping: str = "roundrobin") -> int:
+    """Rebuild every chare from ``image`` onto the runtime's current PEs.
+
+    Elements are dealt across the new PE set (``roundrobin`` by default —
+    a load-balance step immediately follows a restore in the rescale
+    protocol, §2.2/§4.2).  Returns the number of restored elements.
+    """
+    entries: List[Tuple[int, Any, type, dict]] = []
+    for pe_id in sorted(image.segments):
+        entries.extend(pickle.loads(image.segments[pe_id]))
+    if len(entries) != image.element_count():
+        raise CheckpointError(
+            f"checkpoint image is inconsistent: directory has "
+            f"{image.element_count()} elements, segments have {len(entries)}"
+        )
+    entries.sort(key=lambda e: _entry_sort(e[0], e[1]))
+    pe_ids = sorted(pe.id for pe in rts.pes)
+    if not pe_ids:
+        raise CheckpointError("runtime has no PEs to restore onto")
+    for i, (array_id, index, cls, state) in enumerate(entries):
+        chare = cls.__new__(cls)
+        chare.__setstate__(state)
+        if mapping == "roundrobin":
+            dest = pe_ids[i % len(pe_ids)]
+        elif mapping == "block":
+            dest = pe_ids[min(i * len(pe_ids) // max(len(entries), 1), len(pe_ids) - 1)]
+        else:
+            raise CheckpointError(f"unknown restore mapping {mapping!r}")
+        rts.reinstall(array_id, index, chare, dest)
+    for array_id in {e[0] for e in entries}:
+        rts.reset_reductions(array_id)
+    return len(entries)
+
+
+def _entry_sort(array_id: int, index: Any):
+    if isinstance(index, tuple):
+        return (array_id, 1, tuple(index))
+    return (array_id, 0, (index,))

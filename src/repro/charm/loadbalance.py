@@ -1,0 +1,139 @@
+"""Load-balancing strategies.
+
+Charm++ supports dynamic load balancing by migrating chares from overloaded
+to underloaded PEs (§2.1).  The rescale protocol reuses the same machinery:
+on shrink, "the load balancer disables the assignment of objects to the PEs
+to be removed" (§2.2) — here, strategies simply receive an ``allowed_pes``
+list that excludes dying PEs.
+
+Strategies are pure functions ``(loads, assignment, allowed_pes) -> moves``
+so they are unit-testable without a runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..errors import CharmError
+
+__all__ = ["LBResult", "greedy_lb", "refine_lb", "get_strategy"]
+
+Key = Tuple[int, Any]
+Strategy = Callable[[Dict[Key, float], Dict[Key, int], List[int]], Dict[Key, int]]
+
+
+@dataclass(frozen=True)
+class LBResult:
+    """Outcome of one load-balancing step."""
+
+    strategy: str
+    moves: int
+    moved_bytes: int
+    cost_seconds: float
+
+
+def greedy_lb(
+    loads: Dict[Key, float],
+    assignment: Dict[Key, int],
+    allowed_pes: List[int],
+) -> Dict[Key, int]:
+    """GreedyLB: place heaviest objects first onto the least-loaded PE.
+
+    Ignores current placement entirely (maximally rebalancing, potentially
+    maximally migrating) — Charm++'s classic ``GreedyLB``.  Returns only
+    actual moves (elements whose PE changes).
+    """
+    if not allowed_pes:
+        raise CharmError("greedy_lb needs at least one allowed PE")
+    heap = [(0.0, pe) for pe in sorted(allowed_pes)]
+    heapq.heapify(heap)
+    # Sort: heaviest first; ties broken by key for determinism.
+    order = sorted(loads, key=lambda k: (-loads[k], _key_sort(k)))
+    target: Dict[Key, int] = {}
+    for key in order:
+        pe_load, pe = heapq.heappop(heap)
+        target[key] = pe
+        heapq.heappush(heap, (pe_load + loads[key], pe))
+    return {k: pe for k, pe in target.items() if assignment.get(k) != pe}
+
+
+def refine_lb(
+    loads: Dict[Key, float],
+    assignment: Dict[Key, int],
+    allowed_pes: List[int],
+    tolerance: float = 1.05,
+) -> Dict[Key, int]:
+    """RefineLB: move objects off overloaded PEs until near the average.
+
+    Minimises migrations: objects on PEs within ``tolerance`` × average load
+    stay put.  Objects on disallowed PEs are always evacuated.
+    """
+    if not allowed_pes:
+        raise CharmError("refine_lb needs at least one allowed PE")
+    allowed = sorted(set(allowed_pes))
+    pe_loads = {pe: 0.0 for pe in allowed}
+    by_pe: Dict[int, List[Key]] = {pe: [] for pe in allowed}
+    evacuees: List[Key] = []
+    for key, pe in sorted(assignment.items(), key=lambda kv: _key_sort(kv[0])):
+        if pe in pe_loads:
+            pe_loads[pe] += loads.get(key, 0.0)
+            by_pe[pe].append(key)
+        else:
+            evacuees.append(key)
+
+    total = sum(loads.get(k, 0.0) for k in assignment)
+    average = total / len(allowed) if allowed else 0.0
+    threshold = average * tolerance
+    moves: Dict[Key, int] = {}
+
+    def least_loaded() -> int:
+        return min(allowed, key=lambda pe: (pe_loads[pe], pe))
+
+    # Mandatory: evacuate disallowed PEs (heaviest first).
+    for key in sorted(evacuees, key=lambda k: (-loads.get(k, 0.0), _key_sort(k))):
+        dest = least_loaded()
+        moves[key] = dest
+        pe_loads[dest] += loads.get(key, 0.0)
+
+    # Optional: shave overloaded PEs down to the threshold.
+    for pe in allowed:
+        objs = sorted(by_pe[pe], key=lambda k: (-loads.get(k, 0.0), _key_sort(k)))
+        for key in objs:
+            if pe_loads[pe] <= threshold:
+                break
+            dest = least_loaded()
+            if dest == pe:
+                break
+            load = loads.get(key, 0.0)
+            # Only move if it actually helps the receiving side stay under.
+            if pe_loads[dest] + load >= pe_loads[pe]:
+                continue
+            moves[key] = dest
+            pe_loads[pe] -= load
+            pe_loads[dest] += load
+    return moves
+
+
+_STRATEGIES: Dict[str, Strategy] = {
+    "greedy": greedy_lb,
+    "refine": refine_lb,
+}
+
+
+def get_strategy(name: str) -> Strategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _STRATEGIES[name]
+    except KeyError:
+        raise CharmError(
+            f"unknown LB strategy {name!r}; available: {sorted(_STRATEGIES)}"
+        ) from None
+
+
+def _key_sort(key: Key):
+    array_id, index = key
+    if isinstance(index, tuple):
+        return (array_id, 1, tuple(index))
+    return (array_id, 0, (index,))

@@ -1,0 +1,90 @@
+"""The location manager: chare index → PE mapping.
+
+Charm++ looks up remote-method destinations in a distributed location
+manager (§2.1).  This implementation is logically centralised (the
+simulation is single-process) but preserves the observable semantics the
+system depends on: stale deliveries after migration are *forwarded* rather
+than failing, and every live chare has exactly one location.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..errors import LocationError
+
+__all__ = ["LocationManager"]
+
+Key = Tuple[int, Any]  # (array_id, index)
+
+
+class LocationManager:
+    """Tracks element placements and per-PE populations."""
+
+    def __init__(self):
+        self._location: Dict[Key, int] = {}
+        self._by_pe: Dict[int, set] = {}
+
+    # ------------------------------------------------------------------
+
+    def register(self, array_id: int, index: Any, pe: int) -> None:
+        key = (array_id, index)
+        if key in self._location:
+            raise LocationError(f"element {key} already registered")
+        self._location[key] = pe
+        self._by_pe.setdefault(pe, set()).add(key)
+
+    def deregister(self, array_id: int, index: Any) -> None:
+        key = (array_id, index)
+        pe = self._location.pop(key, None)
+        if pe is None:
+            raise LocationError(f"element {key} is not registered")
+        self._by_pe[pe].discard(key)
+
+    def lookup(self, array_id: int, index: Any) -> int:
+        try:
+            return self._location[(array_id, index)]
+        except KeyError:
+            raise LocationError(
+                f"no location for array {array_id} index {index!r}"
+            ) from None
+
+    def move(self, array_id: int, index: Any, dest_pe: int) -> int:
+        """Update an element's location; returns the previous PE."""
+        key = (array_id, index)
+        if key not in self._location:
+            raise LocationError(f"element {key} is not registered")
+        src = self._location[key]
+        if src == dest_pe:
+            return src
+        self._by_pe[src].discard(key)
+        self._location[key] = dest_pe
+        self._by_pe.setdefault(dest_pe, set()).add(key)
+        return src
+
+    # ------------------------------------------------------------------
+
+    def elements_on(self, pe: int) -> List[Key]:
+        """Sorted element keys hosted on ``pe`` (deterministic order)."""
+        return sorted(self._by_pe.get(pe, ()), key=_sort_key)
+
+    def population(self) -> Dict[int, int]:
+        """Element count per PE (only PEs that ever hosted something)."""
+        return {pe: len(keys) for pe, keys in self._by_pe.items() if keys}
+
+    def all_elements(self) -> List[Key]:
+        return sorted(self._location, key=_sort_key)
+
+    def clear(self) -> None:
+        self._location.clear()
+        self._by_pe.clear()
+
+    def __len__(self) -> int:
+        return len(self._location)
+
+
+def _sort_key(key: Key):
+    array_id, index = key
+    if isinstance(index, tuple):
+        return (array_id, 1, tuple(index))
+    return (array_id, 0, (index,))

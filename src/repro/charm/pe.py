@@ -1,0 +1,89 @@
+"""Processing elements.
+
+Each PE runs a scheduler loop: pick a message off the queue, deliver it to
+the destination chare, and advance virtual time by the compute the entry
+method charged (§2.1).  The paper's deployment is non-SMP — one PE per
+worker pod — so a PE optionally carries a *host binding* (pod name, node
+name, /dev/shm capacity) used by the checkpoint layer and the comm model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..sim import Queue
+
+__all__ = ["PE", "HostBinding"]
+
+
+@dataclass(frozen=True)
+class HostBinding:
+    """Where a PE physically runs (worker pod → node), for cost models."""
+
+    pod_name: str
+    node_name: str
+    shm_bytes: int
+
+    @classmethod
+    def local(cls, pe_id: int, shm_bytes: int = 2**63) -> "HostBinding":
+        """Standalone binding for runtimes not attached to a cluster."""
+        return cls(pod_name=f"local-{pe_id}", node_name="localhost", shm_bytes=shm_bytes)
+
+
+class PE:
+    """One processing element: message queue + scheduler state."""
+
+    def __init__(self, engine, pe_id: int, host: Optional[HostBinding] = None):
+        self.engine = engine
+        self.id = pe_id
+        self.host = host or HostBinding.local(pe_id)
+        self.queue = Queue(engine, name=f"pe{pe_id}.msgq")
+        self.busy = False
+        self.alive = True
+        # Chares hosted here: (array_id, index) -> chare object.
+        self.chares: Dict[tuple, Any] = {}
+        # Accounting.
+        self.delivered_count = 0
+        self.busy_time = 0.0
+        self._process = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def node_name(self) -> str:
+        return self.host.node_name
+
+    def enqueue(self, envelope) -> None:
+        if not self.alive:
+            # Messages racing a shrink are re-routed by the RTS; a dead PE
+            # must never silently accept work.
+            raise RuntimeError(f"PE {self.id} is dead; cannot enqueue {envelope!r}")
+        self.queue.put(envelope)
+
+    def add_chare(self, key: tuple, chare) -> None:
+        self.chares[key] = chare
+
+    def pop_chare(self, key: tuple):
+        return self.chares.pop(key)
+
+    def get_chare(self, key: tuple):
+        return self.chares.get(key)
+
+    def load(self) -> float:
+        """Accumulated busy time since the last load-balance reset."""
+        return self.busy_time
+
+    def reset_load(self) -> None:
+        self.busy_time = 0.0
+
+    def kill(self) -> None:
+        """Stop the scheduler loop and mark the PE dead."""
+        self.alive = False
+        if self._process is not None and not self._process.triggered:
+            self._process.interrupt("pe shutdown")
+        self._process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<PE {self.id} {state} chares={len(self.chares)} qlen={len(self.queue)}>"

@@ -1,0 +1,161 @@
+"""The shrink/expand protocol (§2.2, measured in §4.2).
+
+The rescale overhead decomposes into the four stages of Figure 5:
+
+* **Load balance** — shrink: *before* checkpoint/restart, evacuating the
+  PEs to be removed; expand: *after* restart, spreading onto new PEs.
+* **Checkpoint** — serialize chare state into per-PE Linux shm segments.
+* **Restart** — tear the process set down and start ``new_num_pes``
+  processes (MPI startup; grows with the process count).
+* **Restore** — read chare state back from shm.
+
+:func:`perform_rescale` is a generator the application driver ``yield
+from``\\ s at a load-balancing sync point; each stage advances virtual time
+by its modelled cost, computed from the *actual* serialized byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..errors import CheckpointError, RescaleError
+from .checkpoint import CheckpointImage, checkpoint_to_shm, restore_from_shm
+from .pe import HostBinding
+from .rts import CharmRuntime
+
+__all__ = ["RescaleReport", "perform_rescale"]
+
+#: Fixed setup cost of opening/attaching shm segments per rescale stage.
+SHM_ATTACH_OVERHEAD = 0.01
+
+
+@dataclass
+class RescaleReport:
+    """Per-stage timing of one shrink/expand, mirroring Figure 5's bars."""
+
+    kind: str  # "shrink" | "expand" | "noop"
+    old_num_pes: int
+    new_num_pes: int
+    checkpoint_bytes: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def row(self) -> Dict[str, float]:
+        """The Figure-5 row: one value per stage plus the total."""
+        return {
+            "load_balance": self.stage_seconds.get("load_balance", 0.0),
+            "checkpoint": self.stage_seconds.get("checkpoint", 0.0),
+            "restart": self.stage_seconds.get("restart", 0.0),
+            "restore": self.stage_seconds.get("restore", 0.0),
+            "total": self.total_seconds,
+        }
+
+
+def perform_rescale(
+    rts: CharmRuntime,
+    new_num_pes: int,
+    hosts: Optional[Sequence[HostBinding]] = None,
+    lb_strategy: str = "greedy",
+):
+    """Generator performing a full shrink/expand on ``rts``.
+
+    Must be driven from a simulation process at a quiescent point::
+
+        report = yield from perform_rescale(rts, new_pes)
+
+    Returns a :class:`RescaleReport`; raises :class:`RescaleError` on
+    invalid targets and propagates :class:`CheckpointError` when a shm
+    segment exceeds a pod's capacity.
+    """
+    if new_num_pes < 1:
+        raise RescaleError(f"cannot rescale to {new_num_pes} PEs")
+    old = rts.num_pes
+    if new_num_pes == old:
+        return RescaleReport(kind="noop", old_num_pes=old, new_num_pes=old)
+    if not rts.quiescent:
+        raise RescaleError("rescale must happen at a load-balancing sync point")
+    shrinking = new_num_pes < old
+    kind = "shrink" if shrinking else "expand"
+    layer = rts.commlayer
+    stages: Dict[str, float] = {}
+
+    # Stage: load balance (shrink only — evacuate dying PEs first).
+    if shrinking:
+        dying = [pe.id for pe in rts.pes if pe.id >= new_num_pes]
+        lb = rts.load_balance(strategy=lb_strategy, exclude_pes=dying)
+        stages["load_balance"] = lb.cost_seconds
+        yield lb.cost_seconds
+
+    # Stage: checkpoint to Linux shared memory (real serialization).
+    image = checkpoint_to_shm(rts)
+    t_ckpt = SHM_ATTACH_OVERHEAD + layer.shm_copy_time(image.max_segment_bytes)
+    stages["checkpoint"] = t_ckpt
+    yield t_ckpt
+
+    # Stage: restart with the new process count.
+    rts.replace_pes(new_num_pes, hosts)
+    t_restart = layer.startup_time(new_num_pes)
+    stages["restart"] = t_restart
+    yield t_restart
+
+    # Stage: restore from shm onto the original PE ids (§2.2: on expand the
+    # LB step after restart spreads the load to the new processes).
+    _restore_original(rts, image)
+    t_restore = SHM_ATTACH_OVERHEAD + layer.shm_copy_time(image.max_segment_bytes)
+    stages["restore"] = t_restore
+    yield t_restore
+
+    # Stage: load balance (expand only — populate the new PEs).
+    if not shrinking:
+        lb = rts.load_balance(strategy=lb_strategy)
+        stages["load_balance"] = lb.cost_seconds
+        yield lb.cost_seconds
+
+    rts.rescale_count += 1
+    if rts.tracer is not None:
+        rts.tracer.emit(
+            "charm.rescale", kind, old=old, new=new_num_pes,
+            bytes=image.total_bytes, total=round(sum(stages.values()), 6),
+        )
+    return RescaleReport(
+        kind=kind,
+        old_num_pes=old,
+        new_num_pes=new_num_pes,
+        checkpoint_bytes=image.total_bytes,
+        stage_seconds=stages,
+    )
+
+
+def _restore_original(rts: CharmRuntime, image: CheckpointImage) -> None:
+    """Reinstall every chare on the PE its shm segment lives on."""
+    import pickle
+
+    pe_ids = {pe.id for pe in rts.pes}
+    bad = {pe for pe in image.directory.values() if pe not in pe_ids}
+    if bad:
+        raise CheckpointError(
+            f"checkpoint references PEs {sorted(bad)} absent from the new "
+            f"process set {sorted(pe_ids)}"
+        )
+    count = 0
+    for pe_id in sorted(image.segments):
+        for array_id, index, cls, state in pickle.loads(image.segments[pe_id]):
+            chare = cls.__new__(cls)
+            chare.__setstate__(state)
+            rts.reinstall(array_id, index, chare, pe_id)
+            count += 1
+    if count != image.element_count():
+        raise CheckpointError(
+            f"restored {count} elements but directory lists {image.element_count()}"
+        )
+    for array_id in {key[0] for key in image.directory}:
+        rts.reset_reductions(array_id)
+
+
+# restore_from_shm is re-exported for fault-tolerance-style restarts where
+# the original PE ids are gone and elements must be re-dealt.
+__all__.append("restore_from_shm")

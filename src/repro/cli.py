@@ -1,0 +1,149 @@
+"""Command-line entry points mirroring the paper's artifact scripts.
+
+The artifact (Appendix A) drives the experiments with ``generate_jobs.py``
+/ ``track_utilization.py`` / ``plot_utilization.py`` / ``run.py``; this CLI
+provides the equivalents against the simulated cluster::
+
+    python -m repro jobs [--seed N] [--gap S]        # generate_jobs.py
+    python -m repro run <policy> [--seed N] [--gap S]  # submit + track + plot
+    python -m repro simulate [--trials N]            # artifact A2's run.py
+    python -m repro fig4|fig5|fig6|fig7|fig8|fig9|table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .schedsim import WorkloadSpec, generate_workload
+
+__all__ = ["main"]
+
+
+def _cmd_jobs(args) -> int:
+    """List the randomly generated job set (generate_jobs.py analog)."""
+    spec = WorkloadSpec(num_jobs=args.jobs, submission_gap=args.gap, seed=args.seed)
+    print(f"# workload seed={args.seed} gap={args.gap}s jobs={args.jobs}")
+    print(f"{'name':>8} {'t_submit':>9} {'size':>7} {'prio':>4} {'min':>4} {'max':>4}")
+    for sub in generate_workload(spec):
+        r = sub.request
+        print(
+            f"{r.name:>8} {sub.time:>9.0f} {sub.size.name:>7} "
+            f"{r.priority:>4} {r.min_replicas:>4} {r.max_replicas:>4}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """Run one policy through the full Kubernetes path (steps 3-11)."""
+    from .experiments.ascii import render_profile
+    from .experiments.cluster_run import run_cluster_experiment
+
+    spec = WorkloadSpec(num_jobs=args.jobs, submission_gap=args.gap, seed=args.seed)
+    submissions = generate_workload(spec)
+    print(f"running {args.policy} on the 4-node cluster "
+          f"({args.jobs} jobs, gap {args.gap}s, T={args.rescale_gap}s)...")
+    result = run_cluster_experiment(
+        args.policy, submissions, rescale_gap=args.rescale_gap
+    )
+    print(result.metrics.describe())
+    print()
+    print(render_profile(result.utilization_profile(samples=144),
+                         title=f"pod_utilization_{args.policy}"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    """The artifact A2 simulator run (Table 1 simulation columns)."""
+    from .schedsim import compare_policies, format_policy_table
+
+    stats = compare_policies(
+        submission_gap=args.gap, rescale_gap=args.rescale_gap, trials=args.trials
+    )
+    print(format_policy_table(
+        stats,
+        title=f"simulated metrics ({args.trials} trials, gap={args.gap}s, "
+              f"T={args.rescale_gap}s)",
+    ))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    name = args.command
+    if name == "fig4":
+        from .experiments import render_fig4
+
+        print(render_fig4())
+    elif name == "fig5":
+        from .experiments import render_fig5
+
+        print(render_fig5())
+    elif name == "fig6":
+        from .experiments import render_fig6, run_fig6
+
+        print(render_fig6(run_fig6()))
+    elif name in ("fig7", "fig8"):
+        from .experiments.fig78 import render_sweep_figure, run_fig7, run_fig8
+
+        runner = run_fig7 if name == "fig7" else run_fig8
+        result = runner(trials=args.trials)
+        print(render_sweep_figure(result, f"Figure {name[-1]}"))
+    elif name == "fig9":
+        from .experiments import render_fig9, run_fig9
+
+        print(render_fig9(run_fig9()))
+    elif name == "table1":
+        from .experiments import render_table1, run_table1
+
+        print(render_table1(run_table1()))
+    else:  # pragma: no cover - argparse prevents this
+        raise SystemExit(f"unknown figure {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'An elastic job scheduler for HPC applications "
+                    "on the cloud' (SC Workshops '25)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    jobs = sub.add_parser("jobs", help="print a generated job set")
+    jobs.add_argument("--seed", type=int, default=32)
+    jobs.add_argument("--gap", type=float, default=90.0)
+    jobs.add_argument("--jobs", type=int, default=16)
+    jobs.set_defaults(fn=_cmd_jobs)
+
+    run = sub.add_parser("run", help="run one policy on the full k8s path")
+    run.add_argument("policy", choices=("elastic", "moldable", "min_replicas",
+                                        "max_replicas"))
+    run.add_argument("--seed", type=int, default=32)
+    run.add_argument("--gap", type=float, default=90.0)
+    run.add_argument("--jobs", type=int, default=16)
+    run.add_argument("--rescale-gap", type=float, default=180.0)
+    run.set_defaults(fn=_cmd_run)
+
+    simulate = sub.add_parser("simulate", help="run the scheduler simulator")
+    simulate.add_argument("--trials", type=int, default=100)
+    simulate.add_argument("--gap", type=float, default=90.0)
+    simulate.add_argument("--rescale-gap", type=float, default=180.0)
+    simulate.set_defaults(fn=_cmd_simulate)
+
+    for fig in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"):
+        p = sub.add_parser(fig, help=f"regenerate {fig}")
+        p.add_argument("--trials", type=int, default=100)
+        p.set_defaults(fn=_cmd_figure)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro jobs | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.  Substrate
+packages define their own subclasses here (rather than locally) so that the
+full failure surface is visible in one place.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimError(ReproError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class StopSimulation(SimError):
+    """Raised internally to abort :meth:`Engine.run` early."""
+
+
+class ProcessKilled(SimError):
+    """Injected into a process generator when it is forcibly interrupted."""
+
+
+# ---------------------------------------------------------------------------
+# Kubernetes substrate
+# ---------------------------------------------------------------------------
+
+
+class KubeError(ReproError):
+    """Base class for Kubernetes-substrate errors."""
+
+
+class NotFoundError(KubeError):
+    """Requested API object does not exist."""
+
+
+class AlreadyExistsError(KubeError):
+    """An object with the same (kind, namespace, name) already exists."""
+
+
+class ConflictError(KubeError):
+    """Optimistic-concurrency conflict (stale resourceVersion) on update."""
+
+
+class InvalidObjectError(KubeError):
+    """An API object failed validation."""
+
+
+class UnschedulablePodError(KubeError):
+    """No node can host the pod (raised only by strict helpers, not the loop)."""
+
+
+# ---------------------------------------------------------------------------
+# Charm++ runtime substrate
+# ---------------------------------------------------------------------------
+
+
+class CharmError(ReproError):
+    """Base class for Charm++ runtime errors."""
+
+
+class LocationError(CharmError):
+    """Location manager has no mapping for a chare index."""
+
+
+class MigrationError(CharmError):
+    """A chare migration failed or was directed to a dead PE."""
+
+
+class CheckpointError(CharmError):
+    """Checkpoint or restore failed (e.g. shared-memory segment too small)."""
+
+
+class CcsError(CharmError):
+    """Converse Client-Server request failed."""
+
+
+class CcsTimeout(CcsError):
+    """A CCS request was not acknowledged within its deadline."""
+
+
+class RescaleError(CharmError):
+    """A shrink/expand operation could not be completed."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduling core
+# ---------------------------------------------------------------------------
+
+
+class SchedulingError(ReproError):
+    """Base class for job-scheduling errors."""
+
+
+class CapacityError(SchedulingError):
+    """A decision would over-commit cluster slots."""
+
+
+class JobStateError(SchedulingError):
+    """A job transition was requested from an incompatible state."""
+
+
+# ---------------------------------------------------------------------------
+# Performance modelling
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for performance-model errors."""
+
+
+class CalibrationError(ModelError):
+    """A piecewise model could not be constructed from the given samples."""

@@ -1,0 +1,49 @@
+"""Paper figure/table drivers.
+
+Each module regenerates one evaluation artifact (see DESIGN.md §4):
+
+* :mod:`repro.experiments.fig4` — strong scaling panels.
+* :mod:`repro.experiments.fig5` — rescale-overhead decomposition.
+* :mod:`repro.experiments.fig6` — iteration timeline around a rescale.
+* :mod:`repro.experiments.fig78` — the scheduler-simulation sweeps.
+* :mod:`repro.experiments.fig9` — full-stack utilization profiles.
+* :mod:`repro.experiments.table1` — actual vs simulation comparison.
+"""
+
+from .ascii import render_chart, render_profile, render_table
+from .cluster_run import ClusterRunResult, run_cluster_experiment
+from .fig4 import fig4a_data, fig4b_data, render_fig4
+from .fig5 import fig5a_rows, fig5b_rows, fig5c_rows, measure_rescale, render_fig5
+from .fig6 import Fig6Result, render_fig6, run_fig6
+from .fig78 import run_fig7, run_fig8, render_sweep_figure
+from .fig9 import FIG9_WORKLOAD, Fig9Result, render_fig9, run_fig9
+from .table1 import Table1Result, render_table1, run_table1
+
+__all__ = [
+    "render_chart",
+    "render_profile",
+    "render_table",
+    "ClusterRunResult",
+    "run_cluster_experiment",
+    "fig4a_data",
+    "fig4b_data",
+    "render_fig4",
+    "fig5a_rows",
+    "fig5b_rows",
+    "fig5c_rows",
+    "measure_rescale",
+    "render_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "render_fig6",
+    "run_fig7",
+    "run_fig8",
+    "render_sweep_figure",
+    "FIG9_WORKLOAD",
+    "Fig9Result",
+    "run_fig9",
+    "render_fig9",
+    "Table1Result",
+    "run_table1",
+    "render_table1",
+]

@@ -1,0 +1,52 @@
+"""Figure 4: strong scaling of Jacobi2D and LeanMD on the cluster (§4.1).
+
+The paper measures time-per-iteration at replica counts 4…64 on EKS; here
+the series come from the calibrated scaling models (the same models that
+feed the scheduler simulator), and a small real-compute validation run
+confirms the qualitative shape on the actual chare runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..perfmodel import fig4_jacobi_models, fig4_leanmd_models
+from .ascii import render_chart, render_table
+
+__all__ = ["fig4a_data", "fig4b_data", "render_fig4", "REPLICAS"]
+
+REPLICAS = (4, 8, 16, 32, 64)
+
+
+def fig4a_data() -> Dict[str, List[Tuple[float, float]]]:
+    """Jacobi2D time-per-iteration series, one per grid size."""
+    return {
+        f"{n}x{n}": [(p, model.time_per_step(p)) for p in REPLICAS]
+        for n, model in sorted(fig4_jacobi_models().items())
+    }
+
+
+def fig4b_data() -> Dict[str, List[Tuple[float, float]]]:
+    """LeanMD time-per-step series, one per cell grid."""
+    return {
+        "x".join(map(str, cells)): [(p, model.time_per_step(p)) for p in REPLICAS]
+        for cells, model in sorted(fig4_leanmd_models().items())
+    }
+
+
+def render_fig4() -> str:
+    """Both panels as charts plus the underlying data tables."""
+    parts = []
+    a = fig4a_data()
+    parts.append(render_chart(a, title="Figure 4a: Jacobi2D strong scaling "
+                                       "(time/iteration vs replicas, log y)",
+                              log_y=True, y_label="t(s)"))
+    rows = [[p] + [series[i][1] for series in a.values()] for i, p in enumerate(REPLICAS)]
+    parts.append(render_table(["replicas"] + list(a), rows))
+    b = fig4b_data()
+    parts.append(render_chart(b, title="Figure 4b: LeanMD strong scaling "
+                                       "(time/step vs replicas, log y)",
+                              log_y=True, y_label="t(s)"))
+    rows = [[p] + [series[i][1] for series in b.values()] for i, p in enumerate(REPLICAS)]
+    parts.append(render_table(["replicas"] + list(b), rows))
+    return "\n\n".join(parts)

@@ -1,0 +1,102 @@
+"""Figure 5: rescale-overhead decomposition (§4.2).
+
+Unlike the figure-7/8 simulations, these rows are measured *emergently*:
+each data point builds a Charm++ runtime whose chares carry the problem's
+nominal bytes, runs the genuine shrink/expand protocol
+(:func:`repro.charm.perform_rescale`), and reports the per-stage virtual
+times.  The analytic :class:`RescaleOverheadModel` is validated against
+these numbers in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps.modeled import ModelChare
+from ..charm import CharmRuntime, perform_rescale
+from ..charm.commlayer import MPI_LAYER, CommLayer
+from ..sim import Engine
+from .ascii import render_table
+
+__all__ = [
+    "measure_rescale",
+    "fig5a_rows",
+    "fig5b_rows",
+    "fig5c_rows",
+    "render_fig5",
+    "STAGES",
+]
+
+STAGES = ("load_balance", "checkpoint", "restart", "restore", "total")
+
+#: The Fig-5a/5b experiment uses the 8k x 8k grid (float32).
+FIG5_DATA_BYTES = 8192 * 8192 * 4
+
+#: Replica points of Fig 5a (shrink to half) and Fig 5b (expand to double).
+FIG5A_REPLICAS = (4, 8, 16, 32, 60)
+FIG5B_REPLICAS = (2, 4, 8, 16, 32)
+
+#: Grid sizes of Fig 5c (shrink 32 -> 16).
+FIG5C_GRIDS = (512, 2048, 8192, 32_768)
+
+
+def measure_rescale(
+    old_replicas: int,
+    new_replicas: int,
+    data_bytes: int,
+    overdecomposition: int = 2,
+    commlayer: CommLayer = MPI_LAYER,
+) -> Dict[str, float]:
+    """Run one real shrink/expand and return its Figure-5 stage row."""
+    engine = Engine()
+    rts = CharmRuntime(engine, num_pes=old_replicas, commlayer=commlayer)
+    chares = max(old_replicas, new_replicas) * overdecomposition
+    rts.create_array(ModelChare, range(chares), args=(data_bytes // chares,))
+    out = []
+
+    def main():
+        report = yield from perform_rescale(rts, new_replicas)
+        out.append(report)
+
+    engine.process(main())
+    engine.run()
+    return out[0].row()
+
+
+def fig5a_rows(replicas=FIG5A_REPLICAS) -> List[List]:
+    """Shrink to half the replicas, 8k x 8k grid (Fig 5a)."""
+    return [
+        [p] + [measure_rescale(p, max(1, p // 2), FIG5_DATA_BYTES)[s] for s in STAGES]
+        for p in replicas
+    ]
+
+
+def fig5b_rows(replicas=FIG5B_REPLICAS) -> List[List]:
+    """Expand to double the replicas, 8k x 8k grid (Fig 5b)."""
+    return [
+        [p] + [measure_rescale(p, p * 2, FIG5_DATA_BYTES)[s] for s in STAGES]
+        for p in replicas
+    ]
+
+
+def fig5c_rows(grids=FIG5C_GRIDS) -> List[List]:
+    """Shrink 32 -> 16 for different problem sizes (Fig 5c)."""
+    return [
+        [n] + [measure_rescale(32, 16, n * n * 4)[s] for s in STAGES]
+        for n in grids
+    ]
+
+
+def render_fig5() -> str:
+    headers_p = ["replicas"] + list(STAGES)
+    headers_n = ["grid"] + list(STAGES)
+    return "\n\n".join(
+        [
+            render_table(headers_p, fig5a_rows(),
+                         title="Figure 5a: shrink to half (8k x 8k), seconds per stage"),
+            render_table(headers_p, fig5b_rows(),
+                         title="Figure 5b: expand to double (8k x 8k), seconds per stage"),
+            render_table(headers_n, fig5c_rows(),
+                         title="Figure 5c: shrink 32->16 vs problem size, seconds per stage"),
+        ]
+    )

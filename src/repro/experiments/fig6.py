@@ -1,0 +1,98 @@
+"""Figure 6: iteration timeline around a shrink and an expand (§4.2).
+
+A 16k x 16k Jacobi job runs 3000 iterations on 32 replicas; mid-run it is
+shrunk to 16 and later expanded back to 32 via CCS.  Figure 6a plots the
+time taken by each 10-iteration block (it jumps up after the shrink and
+back down after the expand); Figure 6b plots the cumulative timestamp of
+every 10th iteration (the slope changes and the rescale gaps are visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..apps.modeled import ModeledApp, ModeledAppConfig
+from ..charm import CcsClient, CcsServer, CharmRuntime
+from ..perfmodel import size_class, step_time_model
+from ..sim import Engine
+from .ascii import render_chart
+
+__all__ = ["Fig6Result", "run_fig6", "render_fig6"]
+
+
+@dataclass
+class Fig6Result:
+    """Timeline data for both panels."""
+
+    block_durations: List[Tuple[int, float]]  # (iteration, seconds/10 iters)
+    timeline: List[Tuple[float, int]]  # (timestamp, iterations done)
+    rescale_reports: List
+    shrink_at_iteration: int
+    expand_at_iteration: int
+
+
+def run_fig6(
+    total_steps: int = 3000,
+    start_replicas: int = 32,
+    shrink_to: int = 16,
+    shrink_after_steps: int = 1000,
+    expand_after_steps: int = 2000,
+) -> Fig6Result:
+    """Run the §4.2 timeline experiment on the chare runtime."""
+    size = size_class("xlarge")  # the 16,384^2 grid
+    model = step_time_model(size)
+    config = ModeledAppConfig(
+        name="fig6-jacobi",
+        total_steps=total_steps,
+        step_time=lambda p: model(p),
+        data_bytes=size.data_bytes,
+        chares=start_replicas * 2,
+        sync_every=10,
+    )
+    engine = Engine()
+    rts = CharmRuntime(engine, num_pes=start_replicas)
+    app = ModeledApp(config, record_iterations=True)
+    server = CcsServer(engine)
+    app.attach_ccs(server)
+    client = CcsClient(engine, server)
+    engine.process(app.main(rts), name="fig6-app")
+
+    # Fire the shrink/expand when the app crosses the step thresholds: a
+    # monitor process polls progress (an external controller would watch
+    # the CCS status endpoint the same way).
+    def controller():
+        while app.completed_steps < shrink_after_steps:
+            yield 1.0
+        yield client.request("rescale", {"target": shrink_to})
+        while app.completed_steps < expand_after_steps:
+            yield 1.0
+        yield client.request("rescale", {"target": start_replicas})
+
+    engine.process(controller(), name="fig6-controller")
+    engine.run()
+    return Fig6Result(
+        block_durations=app.block_durations(),
+        timeline=app.timeline(),
+        rescale_reports=list(app.rescale_reports),
+        shrink_at_iteration=shrink_after_steps,
+        expand_at_iteration=expand_after_steps,
+    )
+
+
+def render_fig6(result: Fig6Result) -> str:
+    panel_a = render_chart(
+        {"t/10 iters": [(float(i), d) for i, d in result.block_durations]},
+        title="Figure 6a: time for the last 10 iterations vs iteration",
+        y_label="s",
+    )
+    panel_b = render_chart(
+        {"timestamp": [(float(s), t) for t, s in result.timeline]},
+        title="Figure 6b: timestamp at every 10th iteration (slope = pace)",
+        y_label="t(s)",
+    )
+    stages = "\n".join(
+        f"  {r.kind}: " + ", ".join(f"{k}={v:.3f}s" for k, v in r.row().items())
+        for r in result.rescale_reports
+    )
+    return "\n\n".join([panel_a, panel_b, "Rescale stage costs:\n" + stages])

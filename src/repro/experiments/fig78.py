@@ -1,0 +1,60 @@
+"""Figures 7 and 8: the scheduler-simulation sweeps (§4.3.1).
+
+Thin drivers over :mod:`repro.schedsim` that produce all four panels of
+each figure and render them as charts plus data tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..schedsim import (
+    FIG7_SUBMISSION_GAPS,
+    FIG8_RESCALE_GAPS,
+    METRIC_LABELS,
+    SweepResult,
+    format_sweep,
+    sweep_rescale_gap,
+    sweep_submission_gap,
+)
+from .ascii import render_chart
+
+__all__ = ["run_fig7", "run_fig8", "render_sweep_figure", "PANEL_METRICS"]
+
+PANEL_METRICS = (
+    "utilization",
+    "total_time",
+    "weighted_mean_response",
+    "weighted_mean_completion",
+)
+
+
+def run_fig7(trials: int = 100, gaps: Sequence[float] = FIG7_SUBMISSION_GAPS,
+             rescale_gap: float = 180.0) -> SweepResult:
+    """Figure 7: metrics vs submission gap, T_rescale_gap = 180 s."""
+    return sweep_submission_gap(gaps=gaps, rescale_gap=rescale_gap, trials=trials)
+
+
+def run_fig8(trials: int = 100, gaps: Sequence[float] = FIG8_RESCALE_GAPS,
+             submission_gap: float = 180.0) -> SweepResult:
+    """Figure 8: metrics vs T_rescale_gap, submission gap = 180 s."""
+    return sweep_rescale_gap(gaps=gaps, submission_gap=submission_gap, trials=trials)
+
+
+def render_sweep_figure(result: SweepResult, figure_name: str,
+                        metrics: Optional[Sequence[str]] = None) -> str:
+    """All four panels (a-d) as charts plus aligned data tables."""
+    parts = []
+    for panel, metric in zip("abcd", metrics or PANEL_METRICS):
+        series = {
+            policy: result.series(policy, metric) for policy in result.policies()
+        }
+        parts.append(
+            render_chart(
+                series,
+                title=f"{figure_name}{panel}: {METRIC_LABELS[metric]} vs "
+                      f"{result.parameter}",
+            )
+        )
+        parts.append(format_sweep(result, metric))
+    return "\n\n".join(parts)

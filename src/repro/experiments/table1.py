@@ -1,0 +1,77 @@
+"""Table 1: Actual vs Simulation for the four policies (§4.3).
+
+The "Simulation" columns come from the paper's scheduler simulator
+(:mod:`repro.schedsim`); the "Actual" columns come from running the *same*
+workload through the full Kubernetes stack
+(:mod:`repro.experiments.cluster_run`), which additionally pays pod
+startup, reconcile latency, launcher slots, and the real CCS-sequenced
+rescale protocol — reproducing the structure of the paper's
+actual-vs-simulation gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..scheduling import SchedulerMetrics, make_policy
+from ..schedsim import ScheduleSimulator, WorkloadSpec, generate_workload
+from .ascii import render_table
+from .cluster_run import run_cluster_experiment
+from .fig9 import FIG9_WORKLOAD
+
+__all__ = ["Table1Result", "run_table1", "render_table1", "TABLE1_POLICIES"]
+
+TABLE1_POLICIES = ("min_replicas", "max_replicas", "moldable", "elastic")
+
+
+@dataclass
+class Table1Result:
+    actual: Dict[str, SchedulerMetrics]
+    simulation: Dict[str, SchedulerMetrics]
+
+    def row(self, policy: str) -> list:
+        a, s = self.actual[policy], self.simulation[policy]
+        return [
+            policy,
+            round(a.total_time, 0), round(s.total_time, 0),
+            f"{a.utilization * 100:.2f}%", f"{s.utilization * 100:.2f}%",
+            round(a.weighted_mean_response, 2), round(s.weighted_mean_response, 2),
+            round(a.weighted_mean_completion, 2), round(s.weighted_mean_completion, 2),
+        ]
+
+
+def run_table1(
+    policies: Sequence[str] = TABLE1_POLICIES,
+    workload: Optional[WorkloadSpec] = None,
+    rescale_gap: float = 180.0,
+) -> Table1Result:
+    """Run both columns of Table 1 on one fixed workload draw."""
+    spec = workload or FIG9_WORKLOAD
+    submissions = generate_workload(spec)
+    actual: Dict[str, SchedulerMetrics] = {}
+    simulation: Dict[str, SchedulerMetrics] = {}
+    for policy in policies:
+        cluster_result = run_cluster_experiment(
+            policy, submissions, rescale_gap=rescale_gap
+        )
+        actual[policy] = cluster_result.metrics
+        sim = ScheduleSimulator(make_policy(policy, rescale_gap=rescale_gap))
+        simulation[policy] = sim.run(submissions).metrics
+    return Table1Result(actual=actual, simulation=simulation)
+
+
+def render_table1(result: Table1Result) -> str:
+    headers = [
+        "Scheduler",
+        "Total(act)", "Total(sim)",
+        "Util(act)", "Util(sim)",
+        "Resp(act)", "Resp(sim)",
+        "Compl(act)", "Compl(sim)",
+    ]
+    rows = [result.row(policy) for policy in result.actual]
+    return render_table(
+        headers, rows,
+        title="Table 1: actual (full k8s stack) vs simulation, "
+              "16 jobs / 90 s gap / T=180 s",
+    )

@@ -1,0 +1,55 @@
+"""Kubernetes cluster substrate.
+
+Public surface::
+
+    from repro.k8s import (
+        KubeCluster, make_eks_cluster, ApiServer, KubeScheduler, Kubelet,
+        Node, Pod, PodSpec, PodPhase, PodAffinityTerm, Resources,
+        LabelSelector, ConfigMap, Controller, CustomResourceDefinition,
+        EmptyDirVolume, shm_volume,
+    )
+"""
+
+from .apiserver import ApiServer
+from .cluster import KubeCluster, make_eks_cluster
+from .configmap import ConfigMap
+from .controller import Controller
+from .crd import CrdRegistry, CustomResourceDefinition
+from .kubelet import Kubelet
+from .meta import ApiObject, LabelSelector, ObjectMeta, OwnerReference
+from .node import C6G_4XLARGE, Node, make_eks_nodes
+from .pod import Pod, PodAffinityTerm, PodPhase, PodSpec
+from .quantity import Resources
+from .scheduler import KubeScheduler
+from .volume import DEFAULT_SHM_BYTES, EmptyDirVolume, shm_volume
+from .watch import EventType, Watch, WatchEvent
+
+__all__ = [
+    "ApiServer",
+    "ApiObject",
+    "KubeCluster",
+    "make_eks_cluster",
+    "ConfigMap",
+    "Controller",
+    "CrdRegistry",
+    "CustomResourceDefinition",
+    "Kubelet",
+    "LabelSelector",
+    "ObjectMeta",
+    "OwnerReference",
+    "Node",
+    "make_eks_nodes",
+    "C6G_4XLARGE",
+    "Pod",
+    "PodAffinityTerm",
+    "PodPhase",
+    "PodSpec",
+    "Resources",
+    "KubeScheduler",
+    "EmptyDirVolume",
+    "shm_volume",
+    "DEFAULT_SHM_BYTES",
+    "EventType",
+    "Watch",
+    "WatchEvent",
+]

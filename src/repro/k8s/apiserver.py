@@ -1,0 +1,175 @@
+"""The API server: typed object store with CRUD, versions, and watches.
+
+This is the hub every controller talks through.  Semantics follow
+Kubernetes where the paper's system depends on them:
+
+* objects are keyed by ``(kind, namespace, name)``;
+* every successful mutation bumps the object's ``resource_version`` and
+  publishes a watch event asynchronously;
+* deletion is graceful for bound pods: ``delete`` marks the object
+  terminating (sets ``deletion_timestamp``) and the responsible kubelet
+  finalizes it, releasing node resources — mirroring how the operator's
+  shrink step removes worker pods only after the Charm++ ack (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import AlreadyExistsError, NotFoundError
+from .meta import ApiObject, LabelSelector
+from .watch import EventType, WatchEvent, WatchHub
+
+__all__ = ["ApiServer"]
+
+
+class ApiServer:
+    """In-memory Kubernetes-style API server bound to a simulation engine."""
+
+    def __init__(self, engine, tracer=None):
+        self.engine = engine
+        self.tracer = tracer
+        self._store: Dict[tuple, ApiObject] = {}
+        self._version = 0
+        self._hub = WatchHub(engine)
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def create(self, obj: ApiObject) -> ApiObject:
+        """Store a new object; publishes ``ADDED``."""
+        obj.validate()
+        if obj.key in self._store:
+            raise AlreadyExistsError(f"{obj.kind} {obj.namespace}/{obj.name} exists")
+        obj.meta.creation_time = self.engine.now
+        self._bump(obj)
+        self._store[obj.key] = obj
+        self._trace("create", obj)
+        self._hub.publish(WatchEvent(EventType.ADDED, obj))
+        return obj
+
+    def get(self, kind: str, name: str, namespace: str = "default") -> ApiObject:
+        """Fetch one object; raises :class:`NotFoundError`."""
+        try:
+            return self._store[(kind, namespace, name)]
+        except KeyError:
+            raise NotFoundError(f"{kind} {namespace}/{name} not found") from None
+
+    def try_get(self, kind: str, name: str, namespace: str = "default") -> Optional[ApiObject]:
+        """Fetch one object or ``None``."""
+        return self._store.get((kind, namespace, name))
+
+    def exists(self, kind: str, name: str, namespace: str = "default") -> bool:
+        return (kind, namespace, name) in self._store
+
+    def list(
+        self,
+        kind: str,
+        namespace: Optional[str] = "default",
+        selector: Optional[LabelSelector] = None,
+    ) -> List[ApiObject]:
+        """List objects of ``kind``, optionally filtered.
+
+        Results are sorted by (namespace, name) for determinism.
+        """
+        objs = [
+            o
+            for o in self._store.values()
+            if o.kind == kind and (namespace is None or o.namespace == namespace)
+        ]
+        if selector is not None:
+            objs = [o for o in objs if selector.matches(o.meta.labels)]
+        return sorted(objs, key=lambda o: (o.namespace, o.name))
+
+    def update(self, obj: ApiObject) -> ApiObject:
+        """Record a mutation of a stored object; publishes ``MODIFIED``."""
+        if obj.key not in self._store:
+            raise NotFoundError(f"{obj.kind} {obj.namespace}/{obj.name} not found")
+        self._bump(obj)
+        self._trace("update", obj)
+        self._hub.publish(WatchEvent(EventType.MODIFIED, obj))
+        return obj
+
+    def patch(self, obj: ApiObject, mutate: Callable[[ApiObject], None]) -> ApiObject:
+        """Apply ``mutate(obj)`` then record the update."""
+        mutate(obj)
+        return self.update(obj)
+
+    def delete(self, obj: ApiObject) -> None:
+        """Delete an object.
+
+        Bound, unfinished pods are deleted *gracefully*: the object is marked
+        terminating and stays in the store until the kubelet finalizes it.
+        Everything else is removed immediately.
+        """
+        if obj.key not in self._store:
+            raise NotFoundError(f"{obj.kind} {obj.namespace}/{obj.name} not found")
+        graceful = (
+            obj.kind == "Pod"
+            and getattr(obj, "is_bound", False)
+            and not getattr(obj, "is_finished", False)
+        )
+        if graceful and not obj.terminating:
+            obj.meta.deletion_timestamp = self.engine.now
+            self._bump(obj)
+            self._trace("terminate", obj)
+            self._hub.publish(WatchEvent(EventType.MODIFIED, obj))
+            return
+        self.finalize_delete(obj)
+
+    def finalize_delete(self, obj: ApiObject) -> None:
+        """Remove the object from the store; publishes ``DELETED``."""
+        if self._store.pop(obj.key, None) is None:
+            raise NotFoundError(f"{obj.kind} {obj.namespace}/{obj.name} not found")
+        self._bump(obj)
+        self._trace("delete", obj)
+        self._hub.publish(WatchEvent(EventType.DELETED, obj))
+
+    # ------------------------------------------------------------------
+    # Watches
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        handler,
+        kind: Optional[str] = None,
+        namespace: Optional[str] = None,
+        replay: bool = True,
+    ):
+        """Subscribe to changes.
+
+        With ``replay`` (the default, mirroring list+watch), existing
+        matching objects are delivered as synthetic ``ADDED`` events before
+        any live event.
+        """
+        watch = self._hub.subscribe(handler, kind=kind, namespace=namespace)
+        if replay:
+            existing = sorted(
+                (o for o in self._store.values() if watch.matches(o)),
+                key=lambda o: (o.kind, o.namespace, o.name),
+            )
+            for obj in existing:
+                watch.deliver(WatchEvent(EventType.ADDED, obj))
+        return watch
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _bump(self, obj: ApiObject) -> None:
+        self._version += 1
+        obj.meta.resource_version = self._version
+
+    def _trace(self, verb: str, obj: ApiObject) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                f"k8s.api.{verb}",
+                f"{obj.kind} {obj.namespace}/{obj.name}",
+                rv=obj.meta.resource_version,
+            )
+
+    def object_count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self._store)
+        return sum(1 for o in self._store.values() if o.kind == kind)

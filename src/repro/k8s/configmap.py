@@ -1,0 +1,29 @@
+"""ConfigMaps.
+
+The MPI operator publishes the worker *nodelist/hostfile* through a
+ConfigMap (§2.3/§3.1: "the controller creates a nodelist file that
+Charm++ uses to connect to the worker replicas").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .meta import ApiObject, ObjectMeta
+
+__all__ = ["ConfigMap"]
+
+
+class ConfigMap(ApiObject):
+    """A string-keyed data bundle."""
+
+    kind = "ConfigMap"
+
+    def __init__(self, name: str, data: Optional[Dict[str, str]] = None,
+                 namespace: str = "default"):
+        super().__init__(ObjectMeta(name=name, namespace=namespace))
+        self.data: Dict[str, str] = dict(data or {})
+
+    def get_lines(self, key: str):
+        """Return a data entry split into non-empty lines."""
+        return [line for line in self.data.get(key, "").splitlines() if line]

@@ -1,0 +1,113 @@
+"""Controller base class: the operator pattern's control loop.
+
+A controller subscribes to watch events for one kind, enqueues object keys
+into a de-duplicating workqueue, and reconciles them one at a time —
+exactly the controller-runtime structure the paper's operator is built on
+(§2.3: "a control loop that manages the custom resources and takes actions
+to maintain a desired state").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set
+
+from .apiserver import ApiServer
+from .watch import WatchEvent
+
+__all__ = ["Controller"]
+
+
+class Controller:
+    """Reconcile-loop base class.
+
+    Subclasses override :meth:`reconcile`; it receives the object key and
+    must read current state from the API server (level-triggered, not
+    edge-triggered).  Errors are retried with a fixed backoff a bounded
+    number of times, then surfaced via the tracer and dropped.
+    """
+
+    #: Kind this controller watches; subclasses must set it.
+    watch_kind: Optional[str] = None
+
+    def __init__(
+        self,
+        engine,
+        api: ApiServer,
+        reconcile_latency: float = 0.01,
+        retry_backoff: float = 1.0,
+        max_retries: int = 5,
+        tracer=None,
+    ):
+        if self.watch_kind is None:
+            raise TypeError(f"{type(self).__name__} must define watch_kind")
+        self.engine = engine
+        self.api = api
+        self.reconcile_latency = float(reconcile_latency)
+        self.retry_backoff = float(retry_backoff)
+        self.max_retries = int(max_retries)
+        self.tracer = tracer
+        self._queue: Deque[tuple] = deque()
+        self._queued: Set[tuple] = set()
+        self._retries = {}
+        self._draining = False
+        self.reconcile_count = 0
+        self._watch = api.watch(self._on_event, kind=self.watch_kind, namespace=None)
+
+    # ------------------------------------------------------------------
+    # Workqueue
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: WatchEvent) -> None:
+        self.enqueue(event.key)
+
+    def enqueue(self, key: tuple) -> None:
+        """Queue a key for reconciliation (deduplicated)."""
+        if key in self._queued:
+            return
+        self._queued.add(key)
+        self._queue.append(key)
+        self._pump()
+
+    def _pump(self) -> None:
+        if not self._draining and self._queue:
+            self._draining = True
+            self.engine.schedule(self.reconcile_latency, self._drain_one)
+
+    def _drain_one(self) -> None:
+        self._draining = False
+        if not self._queue:
+            return
+        key = self._queue.popleft()
+        self._queued.discard(key)
+        try:
+            self.reconcile_count += 1
+            self.reconcile(key)
+            self._retries.pop(key, None)
+        except Exception as err:  # noqa: BLE001 - controller isolation
+            attempts = self._retries.get(key, 0) + 1
+            self._retries[key] = attempts
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "k8s.controller.error",
+                    f"{type(self).__name__} reconcile failed",
+                    key=key, attempt=attempts, error=repr(err),
+                )
+            if attempts <= self.max_retries:
+                self.engine.schedule(self.retry_backoff, self.enqueue, key)
+            else:
+                raise
+        self._pump()
+
+    # ------------------------------------------------------------------
+
+    def reconcile(self, key: tuple) -> None:
+        """Bring the world in line with the object at ``key``.
+
+        Subclasses must implement.  The object may no longer exist; use
+        ``api.try_get`` and treat ``None`` as "clean up".
+        """
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        self._watch.stop()

@@ -1,0 +1,79 @@
+"""Custom Resource Definitions.
+
+The operator pattern (§2.3) has two halves: a CRD declaring the custom
+type, and a controller reconciling it.  This module provides the registry
+half: a CRD declares the kind, validates instances, and gates
+:meth:`ApiServer.create` for custom kinds via :class:`CrdRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..errors import InvalidObjectError
+from .apiserver import ApiServer
+from .meta import ApiObject
+
+__all__ = ["CustomResourceDefinition", "CrdRegistry"]
+
+
+@dataclass
+class CustomResourceDefinition:
+    """Declares a custom kind and its validation rules."""
+
+    kind: str
+    group: str = "repro.dev"
+    version: str = "v2beta1"
+    validator: Optional[Callable[[ApiObject], None]] = None
+
+    @property
+    def api_version(self) -> str:
+        return f"{self.group}/{self.version}"
+
+    def validate(self, obj: ApiObject) -> None:
+        if obj.kind != self.kind:
+            raise InvalidObjectError(
+                f"CRD {self.kind} cannot validate a {obj.kind}"
+            )
+        obj.validate()
+        if self.validator is not None:
+            self.validator(obj)
+
+
+class CrdRegistry:
+    """Known custom kinds for an API server.
+
+    ``create_custom`` validates against the registered CRD before storing;
+    unknown custom kinds are rejected, as a real API server would reject
+    an unregistered resource type.
+    """
+
+    #: Kinds built into the substrate (not CRDs).
+    BUILTIN_KINDS = frozenset({"Pod", "Node", "ConfigMap", "Object"})
+
+    def __init__(self, api: ApiServer):
+        self.api = api
+        self._crds: Dict[str, CustomResourceDefinition] = {}
+
+    def register(self, crd: CustomResourceDefinition) -> CustomResourceDefinition:
+        if crd.kind in self.BUILTIN_KINDS:
+            raise InvalidObjectError(f"{crd.kind} is a builtin kind")
+        if crd.kind in self._crds:
+            raise InvalidObjectError(f"CRD {crd.kind} already registered")
+        self._crds[crd.kind] = crd
+        return crd
+
+    def get(self, kind: str) -> CustomResourceDefinition:
+        try:
+            return self._crds[kind]
+        except KeyError:
+            raise InvalidObjectError(f"no CRD registered for kind {kind!r}") from None
+
+    def registered_kinds(self):
+        return sorted(self._crds)
+
+    def create_custom(self, obj: ApiObject) -> ApiObject:
+        """Validate ``obj`` against its CRD, then create it."""
+        self.get(obj.kind).validate(obj)
+        return self.api.create(obj)

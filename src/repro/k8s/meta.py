@@ -1,0 +1,122 @@
+"""API object metadata and label selection.
+
+Mirrors the parts of the Kubernetes object model the paper's system relies
+on: names/namespaces, labels, owner references (operator-managed pods), and
+equality-based label selectors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..errors import InvalidObjectError
+
+__all__ = ["ObjectMeta", "ApiObject", "LabelSelector", "OwnerReference"]
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class OwnerReference:
+    """Link from a dependent object (pod) to its owner (a CharmJob)."""
+
+    kind: str
+    name: str
+    uid: int
+
+
+@dataclass
+class ObjectMeta:
+    """Kubernetes-style object metadata.
+
+    ``resource_version`` is managed by the API server; ``deletion_timestamp``
+    marks an object as terminating (graceful deletion in progress).
+    """
+
+    name: str
+    namespace: str = "default"
+    labels: Dict[str, str] = field(default_factory=dict)
+    annotations: Dict[str, str] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    resource_version: int = 0
+    creation_time: Optional[float] = None
+    deletion_timestamp: Optional[float] = None
+    owner: Optional[OwnerReference] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise InvalidObjectError("object name must be non-empty")
+        if not self.namespace:
+            raise InvalidObjectError("object namespace must be non-empty")
+
+
+class ApiObject:
+    """Base class for everything stored in the API server.
+
+    Subclasses set ``kind`` and may override :meth:`validate`.
+    """
+
+    kind: str = "Object"
+
+    def __init__(self, meta: ObjectMeta):
+        self.meta = meta
+
+    # Identity -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def namespace(self) -> str:
+        return self.meta.namespace
+
+    @property
+    def key(self) -> tuple:
+        """Store key: (kind, namespace, name)."""
+        return (self.kind, self.meta.namespace, self.meta.name)
+
+    @property
+    def terminating(self) -> bool:
+        return self.meta.deletion_timestamp is not None
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidObjectError` on malformed objects."""
+        self.meta.validate()
+
+    def owned_by(self, owner: "ApiObject") -> None:
+        """Record ``owner`` as this object's controller."""
+        self.meta.owner = OwnerReference(owner.kind, owner.meta.name, owner.meta.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.namespace}/{self.name} rv={self.meta.resource_version}>"
+
+
+@dataclass(frozen=True)
+class LabelSelector:
+    """Equality-based label selector (``match_labels`` semantics).
+
+    An empty selector matches everything, as in Kubernetes.
+    """
+
+    match_labels: tuple = ()  # tuple of (key, value) pairs for hashability
+
+    @classmethod
+    def of(cls, **labels: str) -> "LabelSelector":
+        return cls(match_labels=tuple(sorted(labels.items())))
+
+    @classmethod
+    def from_dict(cls, labels: Dict[str, str]) -> "LabelSelector":
+        return cls(match_labels=tuple(sorted(labels.items())))
+
+    def matches(self, labels: Dict[str, str]) -> bool:
+        return all(labels.get(k) == v for k, v in self.match_labels)
+
+    def select(self, objects: Iterable[ApiObject]):
+        """Filter an iterable of API objects by their labels."""
+        return [obj for obj in objects if self.matches(obj.meta.labels)]
+
+    def is_empty(self) -> bool:
+        return not self.match_labels

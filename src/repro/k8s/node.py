@@ -1,0 +1,128 @@
+"""Cluster nodes.
+
+The paper's testbed is four AWS ``c6g.4xlarge`` instances (16 vCPUs each) in
+one subnet and cluster placement group; :func:`make_eks_nodes` builds that
+topology.  Nodes track which pods are bound to them and expose free
+capacity for the scheduler's fit predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..errors import InvalidObjectError, KubeError
+from .meta import ApiObject, ObjectMeta
+from .quantity import Resources
+
+__all__ = ["Node", "make_eks_nodes", "C6G_4XLARGE"]
+
+#: Resource profile of the paper's instance type (16 vCPUs; 32 GiB memory).
+C6G_4XLARGE = Resources.parse(cpu="16", memory="32Gi")
+
+
+class Node(ApiObject):
+    """A schedulable cluster node.
+
+    Attributes
+    ----------
+    capacity:
+        Total resources of the instance.
+    allocatable:
+        Capacity minus a system reservation (kubelet/OS daemons).
+    placement_group:
+        Label used to model AWS cluster placement groups; the comm-layer
+        models give intra-group traffic lower latency.
+    """
+
+    kind = "Node"
+
+    def __init__(
+        self,
+        name: str,
+        capacity: Resources,
+        system_reserved: Resources = Resources(),
+        placement_group: str = "default-pg",
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        meta = ObjectMeta(name=name, namespace="cluster", labels=dict(labels or {}))
+        meta.labels.setdefault("kubernetes.io/hostname", name)
+        meta.labels.setdefault("topology.kubernetes.io/placement-group", placement_group)
+        super().__init__(meta)
+        self.capacity = capacity
+        self.allocatable = capacity - system_reserved
+        self.placement_group = placement_group
+        #: Cordoned nodes accept no new pods (failure injection / drain).
+        self.unschedulable = False
+        self._bound_pods: Set[tuple] = set()  # pod keys
+        self._allocated = Resources()
+
+    # ------------------------------------------------------------------
+    # Accounting (driven by the scheduler / kubelet)
+    # ------------------------------------------------------------------
+
+    @property
+    def allocated(self) -> Resources:
+        """Sum of requests of pods bound to this node."""
+        return self._allocated
+
+    @property
+    def free(self) -> Resources:
+        """Allocatable minus allocated."""
+        return self.allocatable - self._allocated
+
+    @property
+    def pod_keys(self) -> Set[tuple]:
+        return set(self._bound_pods)
+
+    def can_fit(self, request: Resources) -> bool:
+        return request.fits_within(self.free)
+
+    def bind(self, pod) -> None:
+        """Reserve resources for ``pod``.  Raises if it does not fit."""
+        if pod.key in self._bound_pods:
+            raise KubeError(f"pod {pod.name} already bound to node {self.name}")
+        if not self.can_fit(pod.request):
+            raise KubeError(
+                f"pod {pod.name} ({pod.request.describe()}) does not fit on "
+                f"node {self.name} (free {self.free.describe()})"
+            )
+        self._bound_pods.add(pod.key)
+        self._allocated = self._allocated + pod.request
+
+    def release(self, pod) -> None:
+        """Release resources held by ``pod``."""
+        if pod.key not in self._bound_pods:
+            raise KubeError(f"pod {pod.name} is not bound to node {self.name}")
+        self._bound_pods.remove(pod.key)
+        self._allocated = self._allocated - pod.request
+
+    def cpu_utilization(self) -> float:
+        """Fraction of allocatable CPU currently requested."""
+        if self.allocatable.cpu == 0:
+            return 0.0
+        return self._allocated.cpu / self.allocatable.cpu
+
+
+def make_eks_nodes(
+    count: int = 4,
+    instance: Resources = C6G_4XLARGE,
+    placement_group: str = "hpc-pg",
+    system_reserved: Resources = Resources(),
+) -> list:
+    """Build the paper's EKS node group (§4): ``count`` identical instances.
+
+    All nodes share one placement group, mirroring the paper's single-subnet
+    cluster placement group for better networking performance.
+    """
+    if count < 1:
+        raise InvalidObjectError("node count must be positive")
+    return [
+        Node(
+            name=f"node-{i}",
+            capacity=instance,
+            system_reserved=system_reserved,
+            placement_group=placement_group,
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,69 @@
+"""Resource quantities: CPU cores and memory bytes.
+
+A :class:`Resources` value is used both for node capacity and for pod
+requests.  CPU is float cores; memory is integer bytes (see
+:mod:`repro.units` for string parsing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidObjectError
+from ..units import format_bytes, parse_bytes, parse_cpu
+
+__all__ = ["Resources"]
+
+
+@dataclass(frozen=True)
+class Resources:
+    """An immutable (cpu, memory) resource vector.
+
+    Supports addition/subtraction and the ``fits_within`` partial order used
+    by the kube-scheduler's fit predicate.
+    """
+
+    cpu: float = 0.0
+    memory: int = 0
+
+    @classmethod
+    def parse(cls, cpu="0", memory="0") -> "Resources":
+        """Build from Kubernetes-style quantity strings.
+
+        >>> Resources.parse(cpu="250m", memory="64Mi")
+        Resources(cpu=0.25, memory=67108864)
+        """
+        return cls(cpu=parse_cpu(cpu), memory=parse_bytes(memory))
+
+    def __post_init__(self):
+        if self.cpu < 0 or self.memory < 0:
+            raise InvalidObjectError(f"negative resources: {self!r}")
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu + other.cpu, self.memory + other.memory)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        cpu = self.cpu - other.cpu
+        memory = self.memory - other.memory
+        # Clamp tiny float negatives from repeated add/sub of thirds etc.
+        if -1e-9 < cpu < 0:
+            cpu = 0.0
+        if cpu < 0 or memory < 0:
+            raise InvalidObjectError(f"resource underflow: {self!r} - {other!r}")
+        return Resources(cpu, memory)
+
+    def fits_within(self, other: "Resources") -> bool:
+        """True when this request fits inside ``other`` (free capacity)."""
+        return self.cpu <= other.cpu + 1e-9 and self.memory <= other.memory
+
+    def is_zero(self) -> bool:
+        return self.cpu == 0 and self.memory == 0
+
+    def scaled(self, factor: float) -> "Resources":
+        """Scale both dimensions (used by utilization accounting)."""
+        if factor < 0:
+            raise InvalidObjectError("negative scale factor")
+        return Resources(self.cpu * factor, int(self.memory * factor))
+
+    def describe(self) -> str:
+        return f"cpu={self.cpu:g} mem={format_bytes(self.memory)}"

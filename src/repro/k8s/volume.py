@@ -1,0 +1,63 @@
+"""Pod volumes.
+
+The paper's operator mounts a memory-backed ``emptyDir`` volume at
+``/dev/shm`` to lift the 64 MiB default shared-memory limit, because
+Charm++ checkpoints to Linux shared memory during shrink/expand (§3.1).
+The Charm++ checkpoint layer (:mod:`repro.charm.checkpoint`) enforces the
+mounted size limit, so an undersized volume fails a rescale exactly like it
+would on a real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..units import parse_bytes
+
+__all__ = ["EmptyDirVolume", "DEFAULT_SHM_BYTES", "shm_volume"]
+
+#: Default /dev/shm size for a container without an explicit mount (64 MiB),
+#: the restriction the paper works around (§3.1).
+DEFAULT_SHM_BYTES = 64 * 1024**2
+
+
+@dataclass(frozen=True)
+class EmptyDirVolume:
+    """An emptyDir volume, optionally memory-backed with a size limit."""
+
+    name: str
+    mount_path: str
+    medium: str = ""  # "" (node disk) or "Memory"
+    size_limit: Optional[int] = None  # bytes; None = unbounded
+
+    @classmethod
+    def memory(cls, name: str, mount_path: str, size_limit) -> "EmptyDirVolume":
+        """A memory-backed emptyDir (tmpfs), as used for /dev/shm."""
+        return cls(
+            name=name,
+            mount_path=mount_path,
+            medium="Memory",
+            size_limit=parse_bytes(size_limit) if size_limit is not None else None,
+        )
+
+    @property
+    def is_memory_backed(self) -> bool:
+        return self.medium == "Memory"
+
+
+def shm_volume(size_limit="1Gi") -> EmptyDirVolume:
+    """The /dev/shm workaround volume from §3.1 of the paper."""
+    return EmptyDirVolume.memory("shm", "/dev/shm", size_limit)
+
+
+def shm_capacity_bytes(volumes) -> int:
+    """Effective /dev/shm capacity for a pod given its volume mounts.
+
+    Returns the size of a memory-backed volume mounted at ``/dev/shm`` if
+    present (unbounded mounts report ``2**63``), else the 64 MiB default.
+    """
+    for vol in volumes:
+        if vol.mount_path == "/dev/shm" and vol.is_memory_backed:
+            return vol.size_limit if vol.size_limit is not None else 2**63
+    return DEFAULT_SHM_BYTES

@@ -1,0 +1,111 @@
+"""Watch streams: asynchronous change notification from the API server.
+
+Controllers (the kube-scheduler, the kubelets, the MPI operator, the elastic
+scheduler) all react to ``ADDED`` / ``MODIFIED`` / ``DELETED`` events.
+Delivery is asynchronous — events are dispatched through the simulation
+engine, never synchronously from the mutation call — which reproduces the
+eventually-consistent behaviour real controllers must tolerate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+__all__ = ["EventType", "WatchEvent", "Watch"]
+
+
+class EventType(str, enum.Enum):
+    ADDED = "ADDED"
+    MODIFIED = "MODIFIED"
+    DELETED = "DELETED"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """A single change notification."""
+
+    type: EventType
+    object: Any  # the live ApiObject (consumers must not mutate it)
+
+    @property
+    def key(self) -> tuple:
+        return self.object.key
+
+
+class Watch:
+    """A subscription to API-server changes.
+
+    Parameters
+    ----------
+    kind:
+        Only objects of this kind are delivered (``None`` = all kinds).
+    namespace:
+        Only objects in this namespace (``None`` = all).
+    handler:
+        Callable invoked as ``handler(event)`` for each delivery.
+    """
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(
+        self,
+        engine,
+        handler: Callable[[WatchEvent], None],
+        kind: Optional[str] = None,
+        namespace: Optional[str] = None,
+    ):
+        self.engine = engine
+        self.handler = handler
+        self.kind = kind
+        self.namespace = namespace
+        self.id = next(Watch._ids)
+        self.active = True
+        self.delivered = 0
+
+    def matches(self, obj) -> bool:
+        if self.kind is not None and obj.kind != self.kind:
+            return False
+        if self.namespace is not None and obj.namespace != self.namespace:
+            return False
+        return True
+
+    def deliver(self, event: WatchEvent) -> None:
+        """Queue asynchronous delivery of ``event`` to the handler."""
+        if not self.active or not self.matches(event.object):
+            return
+        self.engine.call_soon(self._dispatch, event)
+
+    def _dispatch(self, event: WatchEvent) -> None:
+        if not self.active:
+            return
+        self.delivered += 1
+        self.handler(event)
+
+    def stop(self) -> None:
+        """Cancel the subscription; queued events are dropped."""
+        self.active = False
+
+
+class WatchHub:
+    """Fan-out of watch events to subscriptions (owned by the API server)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._watches: List[Watch] = []
+
+    def subscribe(
+        self,
+        handler: Callable[[WatchEvent], None],
+        kind: Optional[str] = None,
+        namespace: Optional[str] = None,
+    ) -> Watch:
+        watch = Watch(self.engine, handler, kind=kind, namespace=namespace)
+        self._watches.append(watch)
+        return watch
+
+    def publish(self, event: WatchEvent) -> None:
+        self._watches = [w for w in self._watches if w.active]
+        for watch in self._watches:
+            watch.deliver(event)

@@ -1,0 +1,54 @@
+"""The extended Kubeflow-style MPI operator for Charm++ jobs (§3.1).
+
+Public surface::
+
+    from repro.mpioperator import (
+        CharmJob, CharmJobSpec, CharmJobStatus, JobPhase, WorkerSpec, AppSpec,
+        CharmJobController, CharmAppRunner, RescaleCoordinator,
+        CHARMJOB_CRD,
+    )
+"""
+
+from .apprunner import CharmAppRunner, host_binding_for
+from .controller import CharmJobController
+from .launcher import (
+    build_launcher_pod,
+    build_worker_pod,
+    launcher_pod_name,
+    worker_index,
+    worker_pod_name,
+)
+from .nodelist import nodelist_name, read_nodelist, render_nodelist, update_nodelist
+from .rescaler import RescaleCoordinator
+from .types import (
+    CHARMJOB_CRD,
+    AppSpec,
+    CharmJob,
+    CharmJobSpec,
+    CharmJobStatus,
+    JobPhase,
+    WorkerSpec,
+)
+
+__all__ = [
+    "CharmJob",
+    "CharmJobSpec",
+    "CharmJobStatus",
+    "JobPhase",
+    "WorkerSpec",
+    "AppSpec",
+    "CHARMJOB_CRD",
+    "CharmJobController",
+    "CharmAppRunner",
+    "RescaleCoordinator",
+    "host_binding_for",
+    "build_launcher_pod",
+    "build_worker_pod",
+    "launcher_pod_name",
+    "worker_pod_name",
+    "worker_index",
+    "nodelist_name",
+    "read_nodelist",
+    "render_nodelist",
+    "update_nodelist",
+]

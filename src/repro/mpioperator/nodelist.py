@@ -1,0 +1,53 @@
+"""Nodelist ConfigMap management.
+
+"Similar to the hostfile, the controller creates a nodelist file that
+Charm++ uses to connect to the worker replicas" (§3.1).  On expand, the
+nodelist is updated *before* the expand signal is sent so the restarted
+application can reach the new pods.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..k8s import ApiServer, ConfigMap, Pod
+from .types import CharmJob
+
+__all__ = ["nodelist_name", "render_nodelist", "update_nodelist", "read_nodelist"]
+
+NODELIST_KEY = "nodelist"
+
+
+def nodelist_name(job: CharmJob) -> str:
+    return f"{job.name}-nodelist"
+
+
+def render_nodelist(workers: List[Pod]) -> str:
+    """One line per worker: ``<pod-name> <node>`` in replica order."""
+    lines = []
+    for pod in workers:
+        node = pod.node_name or "<unscheduled>"
+        lines.append(f"{pod.name} {node}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def update_nodelist(api: ApiServer, job: CharmJob, workers: List[Pod]) -> ConfigMap:
+    """Create or refresh the job's nodelist ConfigMap."""
+    content = render_nodelist(workers)
+    existing = api.try_get("ConfigMap", nodelist_name(job), namespace=job.namespace)
+    if existing is None:
+        cm = ConfigMap(nodelist_name(job), data={NODELIST_KEY: content},
+                       namespace=job.namespace)
+        cm.owned_by(job)
+        return api.create(cm)
+    if existing.data.get(NODELIST_KEY) != content:
+        api.patch(existing, lambda c: c.data.update({NODELIST_KEY: content}))
+    return existing
+
+
+def read_nodelist(api: ApiServer, job: CharmJob) -> List[str]:
+    """Worker pod names currently published for ``job`` (empty if none)."""
+    cm = api.try_get("ConfigMap", nodelist_name(job), namespace=job.namespace)
+    if cm is None:
+        return []
+    return [line.split()[0] for line in cm.get_lines(NODELIST_KEY)]

@@ -1,0 +1,163 @@
+"""The CharmJob custom resource (the paper's extended MPIJob CRD).
+
+§3.2.1: "We modified the MPI operator CRD to include minReplicas and
+maxReplicas fields for the workers specification ... We also added a
+priority field to the job specification."  Worker memory limits are sized
+for the *minimum* replica configuration and never adjusted on rescale,
+exactly as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import InvalidObjectError
+from ..k8s import CustomResourceDefinition
+from ..k8s.meta import ApiObject, ObjectMeta
+from ..units import parse_bytes, parse_cpu
+
+__all__ = ["CharmJob", "CharmJobSpec", "CharmJobStatus", "JobPhase",
+           "WorkerSpec", "AppSpec", "CHARMJOB_CRD"]
+
+
+class JobPhase(str, enum.Enum):
+    PENDING = "Pending"      # created; pods not yet all placed
+    LAUNCHING = "Launching"  # pods created; waiting for them to run
+    RUNNING = "Running"      # application executing
+    COMPLETED = "Completed"
+    FAILED = "Failed"
+
+
+@dataclass
+class WorkerSpec:
+    """Per-worker-replica resources.
+
+    Non-SMP deployment: one PE per worker, so ``cpu`` defaults to a full
+    vCPU — a worker replica *is* a slot.
+    """
+
+    cpu: float = 1.0
+    memory_bytes: int = parse_bytes("1Gi")
+    shm_bytes: int = parse_bytes("1Gi")
+
+    @classmethod
+    def parse(cls, cpu="1", memory="1Gi", shm="1Gi") -> "WorkerSpec":
+        return cls(
+            cpu=parse_cpu(cpu),
+            memory_bytes=parse_bytes(memory),
+            shm_bytes=parse_bytes(shm),
+        )
+
+
+@dataclass
+class AppSpec:
+    """What the launcher runs: an application-registry key plus parameters."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CharmJobSpec:
+    """Desired state of a CharmJob."""
+
+    min_replicas: int
+    max_replicas: int
+    priority: int = 1
+    #: Current desired worker count, set by the scheduling policy.  ``None``
+    #: means "not yet scheduled"; the operator then uses ``min_replicas``.
+    replicas: Optional[int] = None
+    #: While True the operator creates no pods — the elastic scheduler
+    #: holds submissions in its internal priority queue this way.
+    suspend: bool = False
+    worker: WorkerSpec = field(default_factory=WorkerSpec)
+    app: AppSpec = field(default_factory=lambda: AppSpec(name="noop"))
+    launcher_cpu: float = 1.0
+
+    @property
+    def desired_replicas(self) -> int:
+        return self.replicas if self.replicas is not None else self.min_replicas
+
+
+@dataclass
+class CharmJobStatus:
+    """Observed state of a CharmJob."""
+
+    phase: JobPhase = JobPhase.PENDING
+    replicas: int = 0
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    #: Time of the last scheduling event (creation / shrink / expand) for
+    #: the T_rescale_gap bookkeeping.  -inf means "never acted on".
+    last_action_time: float = -math.inf
+    rescale_in_progress: bool = False
+    rescale_count: int = 0
+    message: str = ""
+
+
+class CharmJob(ApiObject):
+    """The custom resource the operator reconciles."""
+
+    kind = "CharmJob"
+
+    def __init__(self, name: str, spec: CharmJobSpec, namespace: str = "default"):
+        super().__init__(
+            ObjectMeta(name=name, namespace=namespace, labels={"app": "charmjob"})
+        )
+        self.spec = spec
+        self.status = CharmJobStatus()
+
+    def validate(self) -> None:
+        super().validate()
+        s = self.spec
+        if s.min_replicas < 1:
+            raise InvalidObjectError(f"minReplicas must be >= 1, got {s.min_replicas}")
+        if s.max_replicas < s.min_replicas:
+            raise InvalidObjectError(
+                f"maxReplicas ({s.max_replicas}) < minReplicas ({s.min_replicas})"
+            )
+        if s.replicas is not None and not (
+            s.min_replicas <= s.replicas <= s.max_replicas
+        ):
+            raise InvalidObjectError(
+                f"replicas ({s.replicas}) outside "
+                f"[{s.min_replicas}, {s.max_replicas}]"
+            )
+        if not isinstance(s.priority, int) or s.priority < 0:
+            raise InvalidObjectError(f"priority must be a non-negative int, got {s.priority!r}")
+        if s.worker.cpu <= 0:
+            raise InvalidObjectError("worker cpu must be positive")
+
+    # Scheduling-policy conveniences -------------------------------------
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def min_replicas(self) -> int:
+        return self.spec.min_replicas
+
+    @property
+    def max_replicas(self) -> int:
+        return self.spec.max_replicas
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status.phase in (JobPhase.COMPLETED, JobPhase.FAILED)
+
+
+def _validate(obj: ApiObject) -> None:
+    if not isinstance(obj, CharmJob):
+        raise InvalidObjectError(f"expected a CharmJob, got {type(obj).__name__}")
+    obj.validate()
+
+
+#: The CRD registered with the cluster, mirroring the kubeflow group.
+CHARMJOB_CRD = CustomResourceDefinition(
+    kind="CharmJob", group="kubeflow.org", version="v2beta1", validator=_validate
+)

@@ -1,0 +1,45 @@
+"""Performance models and calibrated datasets.
+
+Public surface::
+
+    from repro.perfmodel import (
+        PiecewiseLinear, sample_function,
+        JacobiScalingModel, LeanMDScalingModel,
+        RescaleOverheadModel,
+        JobSizeClass, JOB_SIZE_CLASSES, size_class, step_time_model,
+        fig4_jacobi_models, fig4_leanmd_models, overhead_model,
+        verify_shape_claims,
+    )
+"""
+
+from .calibration import verify_shape_claims
+from .datasets import (
+    JOB_SIZE_CLASSES,
+    REPLICA_SAMPLE_POINTS,
+    JobSizeClass,
+    fig4_jacobi_models,
+    fig4_leanmd_models,
+    overhead_model,
+    size_class,
+    step_time_model,
+)
+from .overhead import RescaleOverheadModel
+from .piecewise import PiecewiseLinear, sample_function
+from .scaling import JacobiScalingModel, LeanMDScalingModel
+
+__all__ = [
+    "PiecewiseLinear",
+    "sample_function",
+    "JacobiScalingModel",
+    "LeanMDScalingModel",
+    "RescaleOverheadModel",
+    "JobSizeClass",
+    "JOB_SIZE_CLASSES",
+    "REPLICA_SAMPLE_POINTS",
+    "size_class",
+    "step_time_model",
+    "fig4_jacobi_models",
+    "fig4_leanmd_models",
+    "overhead_model",
+    "verify_shape_claims",
+]

@@ -1,0 +1,86 @@
+"""Analytic rescale-overhead model (the §4.2 decomposition).
+
+Mirrors the emergent costs of :mod:`repro.charm.rescale` in closed form so
+the scheduler simulator (§4.3.1) can charge rescale overheads without
+instantiating a runtime.  The stage structure and dependencies match
+Figure 5:
+
+* **restart** grows linearly with the new process count (MPI startup);
+* **checkpoint/restore** scale with bytes-per-PE, so they *fall* as the
+  replica count grows and *rise* with problem size;
+* **load balancing** is roughly flat in replicas and scales with the data
+  actually moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..charm.commlayer import MPI_LAYER, CommLayer
+
+__all__ = ["RescaleOverheadModel"]
+
+#: Fixed setup cost per shm stage, matching repro.charm.rescale.
+SHM_ATTACH_OVERHEAD = 0.01
+#: Fixed LB coordination cost (stats reduction + strategy).
+LB_BASE = 0.02
+
+
+@dataclass(frozen=True)
+class RescaleOverheadModel:
+    """Stage-level shrink/expand cost model for a given comm layer."""
+
+    commlayer: CommLayer = MPI_LAYER
+
+    def stages(self, old_replicas: int, new_replicas: int,
+               data_bytes: int) -> Dict[str, float]:
+        """Per-stage seconds for rescaling ``data_bytes`` of app state.
+
+        Returns the Figure-5 stages plus ``"total"``.  A no-op rescale
+        costs nothing.
+        """
+        if old_replicas < 1 or new_replicas < 1:
+            raise ValueError("replica counts must be positive")
+        if old_replicas == new_replicas:
+            return {
+                "load_balance": 0.0, "checkpoint": 0.0,
+                "restart": 0.0, "restore": 0.0, "total": 0.0,
+            }
+        layer = self.commlayer
+        shrinking = new_replicas < old_replicas
+        if shrinking:
+            # LB first: evacuate dying PEs — moves the data they hold.
+            moved = data_bytes * (old_replicas - new_replicas) / old_replicas
+            lb = LB_BASE + moved / layer.beta
+            # After evacuation each survivor holds data/new.
+            seg = data_bytes / new_replicas
+        else:
+            # Checkpoint happens at the old size; LB after restart moves the
+            # share of data destined for the new PEs.
+            moved = data_bytes * (new_replicas - old_replicas) / new_replicas
+            lb = LB_BASE + moved / layer.beta
+            seg = data_bytes / old_replicas
+        checkpoint = SHM_ATTACH_OVERHEAD + layer.shm_copy_time(seg)
+        restore = SHM_ATTACH_OVERHEAD + layer.shm_copy_time(seg)
+        restart = layer.startup_time(new_replicas)
+        total = lb + checkpoint + restart + restore
+        return {
+            "load_balance": lb,
+            "checkpoint": checkpoint,
+            "restart": restart,
+            "restore": restore,
+            "total": total,
+        }
+
+    def total(self, old_replicas: int, new_replicas: int, data_bytes: int) -> float:
+        """Total rescale overhead in seconds."""
+        return self.stages(old_replicas, new_replicas, data_bytes)["total"]
+
+    def shrink_to_half(self, replicas: int, data_bytes: int) -> Dict[str, float]:
+        """The Figure-5a experiment: shrink ``replicas`` → ``replicas//2``."""
+        return self.stages(replicas, max(1, replicas // 2), data_bytes)
+
+    def expand_to_double(self, replicas: int, data_bytes: int) -> Dict[str, float]:
+        """The Figure-5b experiment: expand ``replicas`` → ``2·replicas``."""
+        return self.stages(replicas, replicas * 2, data_bytes)

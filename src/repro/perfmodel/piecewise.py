@@ -1,0 +1,74 @@
+"""Piecewise-linear interpolation — the paper's model representation.
+
+§4.3.1: "We use strong scaling performance measurements for the 4 problem
+sizes to model the runtime of a job for a given number of replicas using a
+piecewise linear function.  We also use the rescaling overhead measurements
+to model the overhead for rescaling using a piecewise linear function."
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import CalibrationError
+
+__all__ = ["PiecewiseLinear", "sample_function"]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A piecewise-linear function through sorted (x, y) sample points.
+
+    Evaluation clamps outside the sampled range (constant extrapolation),
+    which is the conservative choice for scaling curves: we never
+    extrapolate speedups beyond the last measured replica count.
+    """
+
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+
+    @classmethod
+    def from_points(cls, points: Sequence[Tuple[float, float]]) -> "PiecewiseLinear":
+        if len(points) < 1:
+            raise CalibrationError("piecewise model needs at least one point")
+        pts = sorted(points)
+        xs = tuple(float(x) for x, _ in pts)
+        ys = tuple(float(y) for _, y in pts)
+        if len(set(xs)) != len(xs):
+            raise CalibrationError(f"duplicate x values in {xs}")
+        return cls(xs=xs, ys=ys)
+
+    def __call__(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        hi = bisect.bisect_right(xs, x)
+        lo = hi - 1
+        x0, x1 = xs[lo], xs[hi]
+        y0, y1 = ys[lo], ys[hi]
+        t = (x - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+    @property
+    def domain(self) -> Tuple[float, float]:
+        return (self.xs[0], self.xs[-1])
+
+    def table(self) -> List[Tuple[float, float]]:
+        return list(zip(self.xs, self.ys))
+
+
+def sample_function(
+    fn: Callable[[float], float], xs: Sequence[float]
+) -> PiecewiseLinear:
+    """Sample an analytic model at ``xs`` into a piecewise-linear fit.
+
+    This mirrors the paper's workflow: run the real system at a handful of
+    replica counts, then interpolate between measurements.
+    """
+    if not xs:
+        raise CalibrationError("need at least one sample point")
+    return PiecewiseLinear.from_points([(float(x), float(fn(x))) for x in xs])

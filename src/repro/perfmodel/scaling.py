@@ -1,0 +1,122 @@
+"""Strong-scaling models for the two evaluation applications (§4.1).
+
+* **Jacobi2D** — communication-intensive 5-point stencil: per-step time is
+  compute (``N²/P`` points) plus halo exchange (``4·N/√P`` boundary
+  elements) plus a per-step synchronization term that grows with ``log P``.
+  Large grids scale well; small grids flatten early (Figure 4a).
+* **LeanMD** — compute-bound cell-based Lennard-Jones MD: per-step time is
+  dominated by per-cell force work divided over PEs (Figure 4b).
+
+The constants are calibrated to reproduce the *shapes and ranges* of
+Figure 4 on the paper's c6g.4xlarge/EKS testbed; absolute seconds are not
+claims (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["JacobiScalingModel", "LeanMDScalingModel"]
+
+
+@dataclass(frozen=True)
+class JacobiScalingModel:
+    """Per-iteration time model for an N×N Jacobi solve on P replicas.
+
+    Parameters
+    ----------
+    grid:
+        N, the size of one dimension of the 2D grid.
+    compute_per_point:
+        Seconds per grid-point update (stencil flops at memory-bound rates).
+    bytes_per_point:
+        4 (float32) per the paper's "4 GB" figure for the 32768² problem.
+    net_alpha / net_beta:
+        Per-message latency and bandwidth of the halo exchange.
+    sync_alpha:
+        Per-step synchronization cost coefficient (× ceil(log2 P)).
+    """
+
+    grid: int
+    compute_per_point: float = 4.5e-9
+    bytes_per_point: int = 4
+    net_alpha: float = 4.0e-4
+    net_beta: float = 0.8e9
+    sync_alpha: float = 1.5e-4
+
+    def time_per_step(self, replicas: int) -> float:
+        """Seconds per Jacobi iteration on ``replicas`` PEs."""
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        p = float(replicas)
+        compute = self.compute_per_point * self.grid * self.grid / p
+        # Halo: four edges of a ~(N/√P)² block, 2 messages per edge pair.
+        edge = self.grid / math.sqrt(p)
+        halo_bytes = 4.0 * edge * self.bytes_per_point
+        comm = 4.0 * self.net_alpha + halo_bytes / self.net_beta
+        sync = self.sync_alpha * max(1, math.ceil(math.log2(p))) if p > 1 else 0.0
+        return compute + comm + sync
+
+    @property
+    def data_bytes(self) -> int:
+        """Total problem state (drives checkpoint/rescale costs)."""
+        return self.grid * self.grid * self.bytes_per_point
+
+    def parallel_efficiency(self, replicas: int, base: int = 1) -> float:
+        """Speedup(replicas)/ideal relative to ``base`` replicas."""
+        t_base = self.time_per_step(base)
+        t_p = self.time_per_step(replicas)
+        return (t_base / t_p) * (base / replicas)
+
+
+@dataclass(frozen=True)
+class LeanMDScalingModel:
+    """Per-step time model for cell-based Lennard-Jones MD on P replicas.
+
+    Parameters
+    ----------
+    cells:
+        (cx, cy, cz) cell grid — the paper's 4×4×4 / 4×4×8 / 4×8×8 sizes.
+    work_per_cell:
+        Seconds of force computation per cell per step (pairwise LJ within
+        the cell and against half its neighbor shell).
+    atoms_per_cell:
+        Initial atoms per cell; drives state size for rescale costs.
+    net_alpha / sync_alpha:
+        Neighbor-exchange latency and per-step synchronization terms.
+    """
+
+    cells: tuple
+    work_per_cell: float = 1.25e-2
+    atoms_per_cell: int = 800
+    bytes_per_atom: int = 48  # 3 doubles position + 3 doubles velocity
+    net_alpha: float = 6.0e-5
+    sync_alpha: float = 3.0e-4
+
+    @property
+    def num_cells(self) -> int:
+        cx, cy, cz = self.cells
+        return cx * cy * cz
+
+    def time_per_step(self, replicas: int) -> float:
+        """Seconds per MD step on ``replicas`` PEs."""
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        p = float(replicas)
+        # Cells are indivisible work units: a PE with ceil(C/P) cells paces
+        # the step (visible as scaling steps when P approaches C).
+        cells_per_pe = math.ceil(self.num_cells / p)
+        compute = self.work_per_cell * cells_per_pe
+        sync = self.sync_alpha * max(1, math.ceil(math.log2(p))) if p > 1 else 0.0
+        comm = 26.0 * self.net_alpha  # neighbor-shell exchange
+        return compute + comm + sync
+
+    @property
+    def data_bytes(self) -> int:
+        return self.num_cells * self.atoms_per_cell * self.bytes_per_atom
+
+    def parallel_efficiency(self, replicas: int, base: int = 1) -> float:
+        t_base = self.time_per_step(base)
+        t_p = self.time_per_step(replicas)
+        return (t_base / t_p) * (base / replicas)

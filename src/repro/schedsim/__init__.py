@@ -1,0 +1,53 @@
+"""The paper's scheduler-performance simulator (§4.3.1, artifact A2).
+
+Public surface::
+
+    from repro.schedsim import (
+        ScheduleSimulator, SimulationResult,
+        WorkloadSpec, Submission, generate_workload,
+        run_once, run_trials, compare_policies, TrialStats,
+        sweep_submission_gap, sweep_rescale_gap, SweepResult,
+        format_policy_table, format_sweep,
+    )
+"""
+
+from .experiment import (
+    DEFAULT_TRIALS,
+    TrialStats,
+    compare_policies,
+    run_once,
+    run_trials,
+)
+from .report import METRIC_LABELS, format_policy_table, format_sweep
+from .simulator import ScheduleSimulator, SimulationResult
+from .sweep import (
+    FIG7_SUBMISSION_GAPS,
+    FIG8_RESCALE_GAPS,
+    POLICY_ORDER,
+    SweepResult,
+    sweep_rescale_gap,
+    sweep_submission_gap,
+)
+from .workload import Submission, WorkloadSpec, generate_workload
+
+__all__ = [
+    "ScheduleSimulator",
+    "SimulationResult",
+    "WorkloadSpec",
+    "Submission",
+    "generate_workload",
+    "run_once",
+    "run_trials",
+    "compare_policies",
+    "TrialStats",
+    "DEFAULT_TRIALS",
+    "sweep_submission_gap",
+    "sweep_rescale_gap",
+    "SweepResult",
+    "FIG7_SUBMISSION_GAPS",
+    "FIG8_RESCALE_GAPS",
+    "POLICY_ORDER",
+    "format_policy_table",
+    "format_sweep",
+    "METRIC_LABELS",
+]

@@ -1,0 +1,114 @@
+"""Repeated randomized trials and policy comparisons (§4.3.1).
+
+The paper repeats each configuration over 100 random workloads and reports
+the average of the four metrics; :func:`run_trials` reproduces that, and
+:func:`compare_policies` produces one averaged row per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..perfmodel.overhead import RescaleOverheadModel
+from ..scheduling import SchedulerMetrics, make_policy
+from .simulator import ScheduleSimulator, SimulationResult
+from .workload import WorkloadSpec, generate_workload
+
+__all__ = ["TrialStats", "run_once", "run_trials", "compare_policies",
+           "DEFAULT_TRIALS"]
+
+#: The paper averages 100 random workloads per configuration.
+DEFAULT_TRIALS = 100
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean metrics over repeated trials of one configuration."""
+
+    policy: str
+    trials: int
+    total_time: float
+    utilization: float
+    weighted_mean_response: float
+    weighted_mean_completion: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_time": self.total_time,
+            "utilization": self.utilization,
+            "weighted_mean_response": self.weighted_mean_response,
+            "weighted_mean_completion": self.weighted_mean_completion,
+        }
+
+
+def run_once(
+    policy_name: str,
+    submission_gap: float = 90.0,
+    rescale_gap: float = 180.0,
+    seed: int = 0,
+    total_slots: int = 64,
+    num_jobs: int = 16,
+    overhead: Optional[RescaleOverheadModel] = None,
+) -> SimulationResult:
+    """Simulate one workload draw under one policy."""
+    spec = WorkloadSpec(num_jobs=num_jobs, submission_gap=submission_gap, seed=seed)
+    simulator = ScheduleSimulator(
+        make_policy(policy_name, rescale_gap=rescale_gap),
+        total_slots=total_slots,
+        overhead=overhead,
+    )
+    return simulator.run(generate_workload(spec))
+
+
+def run_trials(
+    policy_name: str,
+    submission_gap: float,
+    rescale_gap: float = 180.0,
+    trials: int = DEFAULT_TRIALS,
+    base_seed: int = 0,
+    total_slots: int = 64,
+    num_jobs: int = 16,
+) -> TrialStats:
+    """Average the four metrics over ``trials`` random workloads.
+
+    Trial *i* uses seed ``base_seed + i``, so different policies see the
+    same 100 workloads — paired comparison, as in the paper.
+    """
+    metrics: List[SchedulerMetrics] = []
+    for i in range(trials):
+        result = run_once(
+            policy_name,
+            submission_gap=submission_gap,
+            rescale_gap=rescale_gap,
+            seed=base_seed + i,
+            total_slots=total_slots,
+            num_jobs=num_jobs,
+        )
+        metrics.append(result.metrics)
+    n = float(len(metrics))
+    return TrialStats(
+        policy=policy_name,
+        trials=trials,
+        total_time=sum(m.total_time for m in metrics) / n,
+        utilization=sum(m.utilization for m in metrics) / n,
+        weighted_mean_response=sum(m.weighted_mean_response for m in metrics) / n,
+        weighted_mean_completion=sum(m.weighted_mean_completion for m in metrics) / n,
+    )
+
+
+def compare_policies(
+    submission_gap: float = 90.0,
+    rescale_gap: float = 180.0,
+    trials: int = DEFAULT_TRIALS,
+    policies: Sequence[str] = ("min_replicas", "max_replicas", "moldable", "elastic"),
+    **kwargs,
+) -> Dict[str, TrialStats]:
+    """One averaged row per policy — the Table-1 simulation columns."""
+    return {
+        name: run_trials(
+            name, submission_gap=submission_gap, rescale_gap=rescale_gap,
+            trials=trials, **kwargs,
+        )
+        for name in policies
+    }

@@ -1,0 +1,56 @@
+"""Report formatting: the rows/series the paper presents."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .experiment import TrialStats
+from .sweep import SweepResult
+
+__all__ = ["format_policy_table", "format_sweep", "METRIC_LABELS"]
+
+METRIC_LABELS = {
+    "total_time": "Total time (s)",
+    "utilization": "Cluster utilization",
+    "weighted_mean_response": "Weighted mean response time (s)",
+    "weighted_mean_completion": "Weighted mean completion time (s)",
+}
+
+
+def format_policy_table(stats: Dict[str, TrialStats], title: str = "") -> str:
+    """The Table-1-style comparison: one row per scheduler."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Scheduler':>14} | {'Total time (s)':>14} | {'Utilization':>11} | "
+        f"{'W. resp (s)':>11} | {'W. compl (s)':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, s in stats.items():
+        lines.append(
+            f"{name:>14} | {s.total_time:>14.1f} | {s.utilization * 100:>10.2f}% | "
+            f"{s.weighted_mean_response:>11.2f} | {s.weighted_mean_completion:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(result: SweepResult, metric: str, title: str = "") -> str:
+    """One Figure-7/8 panel as an aligned data table (x by policy)."""
+    lines: List[str] = []
+    lines.append(title or f"{METRIC_LABELS.get(metric, metric)} vs {result.parameter}")
+    policies = result.policies()
+    header = f"{result.parameter:>16} | " + " | ".join(f"{p:>12}" for p in policies)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(result.values):
+        cells = []
+        for policy in policies:
+            value = getattr(result.stats[policy][i], metric)
+            if metric == "utilization":
+                cells.append(f"{value * 100:>11.2f}%")
+            else:
+                cells.append(f"{value:>12.1f}")
+        lines.append(f"{x:>16.0f} | " + " | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""The scheduler-performance simulator (§4.3.1, artifact A2).
+
+An event-driven simulation of the four scheduling policies over the
+§4.3.1 workload: job runtime is ``timesteps × step_time(replicas)`` with
+``step_time`` a piecewise-linear fit of strong-scaling measurements, and
+every rescale charges the piecewise overhead model before the job resumes
+at its new rate.  Per the paper, operator/Kubernetes pod-startup overheads
+are *not* modelled here (the Table-1 "Actual" column pays them; see
+:mod:`repro.experiments.table1`).
+
+The policy logic is the exact same :class:`ElasticPolicyEngine` the
+Kubernetes path uses — the simulator only supplies time and job progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SchedulingError
+from ..perfmodel.datasets import size_class, step_time_model
+from ..perfmodel.overhead import RescaleOverheadModel
+from ..scheduling import (
+    EnqueueJob,
+    ExpandJob,
+    JobOutcome,
+    PolicyConfig,
+    ReplicaTimeline,
+    SchedulerMetrics,
+    ShrinkJob,
+    StartJob,
+    compute_metrics,
+)
+from ..scheduling.elastic import ElasticPolicyEngine
+from ..scheduling.extensions import PreemptJob, ResumeJob
+from ..sim import Engine
+from .workload import Submission
+
+__all__ = ["ScheduleSimulator", "SimulationResult", "DISK_BANDWIDTH"]
+
+#: Shared-filesystem bandwidth for preemption checkpoints (§3.2.2 requires
+#: a shared filesystem; we model a modest networked disk).
+DISK_BANDWIDTH = 200e6  # bytes/s
+
+
+@dataclass
+class _RunningJob:
+    """Progress bookkeeping for one running job."""
+
+    name: str
+    total_steps: float
+    remaining_steps: float
+    replicas: int
+    step_time: object  # callable replicas -> seconds
+    data_bytes: int
+    progress_start: float  # when stepping (re)starts after overheads
+    finish_timer: object = None
+    rescale_overhead_paid: float = 0.0
+
+    def steps_done_by(self, now: float) -> float:
+        if now <= self.progress_start:
+            return 0.0
+        return (now - self.progress_start) / self.step_time(self.replicas)
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated run produces."""
+
+    policy: str
+    metrics: SchedulerMetrics
+    outcomes: List[JobOutcome]
+    timelines: Dict[str, ReplicaTimeline]
+    rescale_counts: Dict[str, int]
+    makespan: float
+
+    def timeline_for(self, name: str) -> ReplicaTimeline:
+        return self.timelines[name]
+
+
+class ScheduleSimulator:
+    """Simulate one workload under one policy configuration."""
+
+    def __init__(
+        self,
+        policy: PolicyConfig,
+        total_slots: int = 64,
+        overhead: Optional[RescaleOverheadModel] = None,
+        engine: Optional[Engine] = None,
+        policy_engine_cls: type = ElasticPolicyEngine,
+    ):
+        self.engine = engine or Engine()
+        self.policy = policy_engine_cls(total_slots, policy)
+        self.total_slots = total_slots
+        self.overhead = overhead or RescaleOverheadModel()
+        self._running: Dict[str, _RunningJob] = {}
+        self._paused: Dict[str, _RunningJob] = {}  # preempted, on disk
+        self._timelines: Dict[str, ReplicaTimeline] = {}
+        self._submissions: Dict[str, Submission] = {}
+        self._completed: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, submissions: Sequence[Submission]) -> SimulationResult:
+        """Run the whole workload to completion and aggregate metrics."""
+        if not submissions:
+            raise SchedulingError("workload is empty")
+        for sub in submissions:
+            self._submissions[sub.request.name] = sub
+            self._timelines[sub.request.name] = ReplicaTimeline()
+            self.engine.schedule_at(sub.time, self._on_submit, sub)
+        self.engine.run()
+        if len(self._completed) != len(submissions):
+            stuck = sorted(set(self._submissions) - set(self._completed))
+            raise SchedulingError(
+                f"simulation ended with unfinished jobs: {stuck} "
+                "(queued jobs never became feasible?)"
+            )
+        outcomes = [self._outcome(name) for name in sorted(self._submissions)]
+        metrics = compute_metrics(
+            self.policy.config.name, outcomes, total_slots=self.total_slots
+        )
+        return SimulationResult(
+            policy=self.policy.config.name,
+            metrics=metrics,
+            outcomes=outcomes,
+            timelines=dict(self._timelines),
+            rescale_counts={
+                name: self.policy.job(name).rescale_count
+                for name in self._submissions
+            },
+            makespan=metrics.total_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_submit(self, sub: Submission) -> None:
+        decisions = self.policy.on_submit(sub.request, self.engine.now)
+        self._apply(decisions)
+
+    def _on_finish(self, name: str) -> None:
+        job = self._running.pop(name)
+        self._timelines[name].record(self.engine.now, 0)
+        self._completed.append(name)
+        decisions = self.policy.on_complete(name, self.engine.now)
+        self._apply(decisions)
+
+    # ------------------------------------------------------------------
+    # Decision application
+    # ------------------------------------------------------------------
+
+    def _apply(self, decisions) -> None:
+        for decision in decisions:
+            name = decision.job.name
+            if isinstance(decision, ResumeJob):
+                self._resume(name, decision.replicas)
+            elif isinstance(decision, StartJob):
+                self._start(name, decision.replicas)
+            elif isinstance(decision, (ShrinkJob, ExpandJob)):
+                self._rescale(name, decision.to_replicas)
+            elif isinstance(decision, PreemptJob):
+                self._preempt(name)
+            elif isinstance(decision, EnqueueJob):
+                pass
+            else:  # pragma: no cover - future decision kinds
+                raise TypeError(f"unknown decision {decision!r}")
+
+    def _start(self, name: str, replicas: int) -> None:
+        sub = self._submissions[name]
+        size = size_class(sub.request.params["size_class"])
+        model = step_time_model(size)
+        job = _RunningJob(
+            name=name,
+            total_steps=float(sub.request.params.get("timesteps", size.timesteps)),
+            remaining_steps=float(sub.request.params.get("timesteps", size.timesteps)),
+            replicas=replicas,
+            step_time=model,
+            data_bytes=size.data_bytes,
+            progress_start=self.engine.now,  # §4.3.1: no startup overhead
+        )
+        self._running[name] = job
+        self._timelines[name].record(self.engine.now, replicas)
+        self._schedule_finish(job)
+
+    def _rescale(self, name: str, new_replicas: int) -> None:
+        job = self._running[name]
+        now = self.engine.now
+        done = job.steps_done_by(now)
+        job.remaining_steps = max(0.0, job.remaining_steps - done)
+        overhead = self.overhead.total(job.replicas, new_replicas, job.data_bytes)
+        job.rescale_overhead_paid += overhead
+        job.replicas = new_replicas
+        job.progress_start = now + overhead
+        self._timelines[name].record(now, new_replicas)
+        self._schedule_finish(job)
+
+    def _preempt(self, name: str) -> None:
+        """Checkpoint a running job to disk and stop it (§3.2.2)."""
+        job = self._running.pop(name)
+        now = self.engine.now
+        done = job.steps_done_by(now)
+        job.remaining_steps = max(0.0, job.remaining_steps - done)
+        if job.finish_timer is not None:
+            job.finish_timer.cancel()
+            job.finish_timer = None
+        self._paused[name] = job
+        self._timelines[name].record(now, 0)
+
+    def _resume(self, name: str, replicas: int) -> None:
+        """Restart a preempted job from its disk checkpoint."""
+        job = self._paused.pop(name)
+        job.replicas = replicas
+        # Pay the disk write (at preemption) + read (now) in one delay.
+        restore = 2.0 * job.data_bytes / DISK_BANDWIDTH
+        job.progress_start = self.engine.now + restore
+        self._running[name] = job
+        self._timelines[name].record(self.engine.now, replicas)
+        self._schedule_finish(job)
+
+    def _schedule_finish(self, job: _RunningJob) -> None:
+        if job.finish_timer is not None:
+            job.finish_timer.cancel()
+        finish_at = job.progress_start + job.remaining_steps * job.step_time(
+            job.replicas
+        )
+        job.finish_timer = self.engine.schedule_at(
+            max(finish_at, self.engine.now), self._on_finish, job.name
+        )
+
+    # ------------------------------------------------------------------
+
+    def _outcome(self, name: str) -> JobOutcome:
+        record = self.policy.job(name)
+        sub = self._submissions[name]
+        return JobOutcome(
+            name=name,
+            priority=sub.request.priority,
+            submit_time=record.submit_time,
+            start_time=record.start_time,
+            completion_time=record.completion_time,
+            timeline=self._timelines[name],
+            size_class=sub.size.name,
+            rescale_count=record.rescale_count,
+        )

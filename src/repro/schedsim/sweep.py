@@ -1,0 +1,85 @@
+"""Parameter sweeps: the Figure 7 and Figure 8 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .experiment import DEFAULT_TRIALS, TrialStats, run_trials
+
+__all__ = [
+    "SweepResult",
+    "sweep_submission_gap",
+    "sweep_rescale_gap",
+    "FIG7_SUBMISSION_GAPS",
+    "FIG8_RESCALE_GAPS",
+    "POLICY_ORDER",
+]
+
+POLICY_ORDER = ("elastic", "moldable", "min_replicas", "max_replicas")
+
+#: Figure 7 sweeps the gap between consecutive submissions from 0 to 300 s.
+FIG7_SUBMISSION_GAPS = (0.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+
+#: Figure 8 sweeps T_rescale_gap from 0 to 1200 s at a 180 s submission gap.
+FIG8_RESCALE_GAPS = (0.0, 200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0)
+
+
+@dataclass
+class SweepResult:
+    """Metric series per policy over one swept parameter."""
+
+    parameter: str
+    values: List[float]
+    stats: Dict[str, List[TrialStats]] = field(default_factory=dict)
+
+    def series(self, policy: str, metric: str) -> List[tuple]:
+        """(x, metric) pairs for one policy — one plotted line."""
+        return [
+            (x, getattr(s, metric))
+            for x, s in zip(self.values, self.stats[policy])
+        ]
+
+    def policies(self) -> List[str]:
+        return [p for p in POLICY_ORDER if p in self.stats]
+
+
+def sweep_submission_gap(
+    gaps: Sequence[float] = FIG7_SUBMISSION_GAPS,
+    rescale_gap: float = 180.0,
+    trials: int = DEFAULT_TRIALS,
+    policies: Sequence[str] = POLICY_ORDER,
+    **kwargs,
+) -> SweepResult:
+    """Figure 7: metrics vs job submission rate (T_rescale_gap = 180 s)."""
+    result = SweepResult(parameter="submission_gap", values=list(gaps))
+    for policy in policies:
+        result.stats[policy] = [
+            run_trials(policy, submission_gap=gap, rescale_gap=rescale_gap,
+                       trials=trials, **kwargs)
+            for gap in gaps
+        ]
+    return result
+
+
+def sweep_rescale_gap(
+    gaps: Sequence[float] = FIG8_RESCALE_GAPS,
+    submission_gap: float = 180.0,
+    trials: int = DEFAULT_TRIALS,
+    policies: Sequence[str] = POLICY_ORDER,
+    **kwargs,
+) -> SweepResult:
+    """Figure 8: metrics vs T_rescale_gap (submission gap = 180 s).
+
+    Note the moldable/rigid baselines do not depend on T_rescale_gap by
+    construction (moldable uses ∞; rigid jobs cannot rescale), so their
+    lines are flat — exactly as in the paper's Figure 8.
+    """
+    result = SweepResult(parameter="rescale_gap", values=list(gaps))
+    for policy in policies:
+        result.stats[policy] = [
+            run_trials(policy, submission_gap=submission_gap, rescale_gap=gap,
+                       trials=trials, **kwargs)
+            for gap in gaps
+        ]
+    return result

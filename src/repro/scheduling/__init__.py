@@ -1,0 +1,62 @@
+"""★ The paper's contribution: priority-based elastic job scheduling (§3.2).
+
+Public surface::
+
+    from repro.scheduling import (
+        ElasticPolicyEngine, PolicyConfig, make_policy, POLICY_NAMES,
+        JobRequest, SchedulerJob, JobState,
+        Decision, StartJob, ShrinkJob, ExpandJob, EnqueueJob,
+        JobOutcome, ReplicaTimeline, SchedulerMetrics, compute_metrics,
+        ElasticSchedulerController,
+    )
+"""
+
+from .elastic import ElasticPolicyEngine
+from .job import JobRequest, JobState, SchedulerJob, priority_order_key
+from .metrics import JobOutcome, ReplicaTimeline, SchedulerMetrics, compute_metrics
+from .policies import DEFAULT_RESCALE_GAP, POLICY_NAMES, make_policy
+from .policy import (
+    Decision,
+    EnqueueJob,
+    ExpandJob,
+    PolicyConfig,
+    ShrinkJob,
+    StartJob,
+)
+
+__all__ = [
+    "ElasticPolicyEngine",
+    "PolicyConfig",
+    "make_policy",
+    "POLICY_NAMES",
+    "DEFAULT_RESCALE_GAP",
+    "JobRequest",
+    "SchedulerJob",
+    "JobState",
+    "priority_order_key",
+    "Decision",
+    "StartJob",
+    "ShrinkJob",
+    "ExpandJob",
+    "EnqueueJob",
+    "JobOutcome",
+    "ReplicaTimeline",
+    "SchedulerMetrics",
+    "compute_metrics",
+]
+
+# The Kubernetes-facing controller pulls in the operator stack; import it
+# lazily so pure-policy users (the simulator) stay lightweight.
+
+
+def __getattr__(name):
+    if name == "ElasticSchedulerController":
+        from .controller import ElasticSchedulerController
+
+        return ElasticSchedulerController
+    if name in ("AgingPolicyEngine", "PreemptivePolicyEngine", "PreemptJob",
+                "ResumeJob"):
+        from . import extensions
+
+        return getattr(extensions, name)
+    raise AttributeError(f"module 'repro.scheduling' has no attribute {name!r}")

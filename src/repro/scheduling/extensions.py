@@ -1,0 +1,167 @@
+"""Policy extensions the paper discusses but does not evaluate (§3.2.2, §6).
+
+* :class:`AgingPolicyEngine` — "a dynamic priority system could be
+  implemented to gradually increase the priority of waiting jobs, ensuring
+  that low-priority jobs get resources during times of high traffic"
+  (§3.2.2, *Aging priorities*).
+* :class:`PreemptivePolicyEngine` — "lower-priority jobs could be sent a
+  signal to checkpoint to disk and then be preempted to make room for
+  higher-priority jobs ... restarted from [the] checkpoint at a later
+  time" (§3.2.2, *Job preemption*).
+
+Both extend the Figure-2/3 engine without modifying it; the evaluated
+system is untouched when these classes are not used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .elastic import ElasticPolicyEngine
+from .job import JobState, SchedulerJob
+from .policy import Decision, EnqueueJob, PolicyConfig, StartJob
+
+__all__ = ["AgingPolicyEngine", "PreemptivePolicyEngine", "PreemptJob",
+           "ResumeJob"]
+
+
+class AgingPolicyEngine(ElasticPolicyEngine):
+    """Elastic policy with queue aging.
+
+    A queued job's effective priority grows by one level per
+    ``aging_interval`` seconds of waiting (capped at ``max_priority``), so
+    long-starved submissions eventually outrank fresher, nominally-higher
+    work when completions hand out freed slots.  Running jobs keep their
+    user priority — aging only orders the *queue*, so the evaluated
+    shrink-victim logic (Figure 2) is unchanged.
+    """
+
+    def __init__(
+        self,
+        total_slots: int,
+        config: Optional[PolicyConfig] = None,
+        aging_interval: float = 600.0,
+        max_priority: int = 10,
+    ):
+        super().__init__(total_slots, config)
+        if aging_interval <= 0:
+            raise ValueError("aging_interval must be positive")
+        self.aging_interval = float(aging_interval)
+        self.max_priority = int(max_priority)
+
+    def effective_priority(self, job: SchedulerJob, now: float) -> int:
+        if job.state != JobState.QUEUED:
+            return job.priority
+        waited = max(0.0, now - job.submit_time)
+        boost = int(waited // self.aging_interval)
+        return min(self.max_priority, job.priority + boost)
+
+    def jobs_by_priority(self, now: Optional[float] = None) -> List[SchedulerJob]:
+        """Decreasing *effective* priority (aged queue entries rise)."""
+        if now is None:
+            now = self._now_hint
+        return sorted(
+            self.running + self.queue,
+            key=lambda j: (-self.effective_priority(j, now), j.submit_time, j.seq),
+        )
+
+    # The base on_complete calls jobs_by_priority() with no argument; stash
+    # the event time so the aged ordering is computed against it.
+    _now_hint: float = 0.0
+
+    def on_submit(self, request, now: float):
+        self._now_hint = now
+        return super().on_submit(request, now)
+
+    def on_complete(self, name: str, now: float):
+        self._now_hint = now
+        return super().on_complete(name, now)
+
+
+@dataclass(frozen=True)
+class PreemptJob(Decision):
+    """Checkpoint a running job to disk and release all its slots.
+
+    The job returns to the queue with its progress preserved; the
+    substrate must charge the disk checkpoint cost and, on resume, the
+    restore cost.
+    """
+
+    released_replicas: int
+
+
+@dataclass(frozen=True)
+class ResumeJob(Decision):
+    """A preempted job restarting from its disk checkpoint."""
+
+    replicas: int
+
+
+class PreemptivePolicyEngine(ElasticPolicyEngine):
+    """Elastic policy with checkpoint-to-disk preemption as a last resort.
+
+    Figure-2 semantics are tried first (free slots, then shrinking).  Only
+    when a *strictly higher-priority* arrival still cannot reach its
+    minimum does the engine preempt running lower-priority jobs — lowest
+    effective priority first, never the protected index-0 job — until the
+    arrival fits or no victims remain.  Preempted jobs re-enter the queue
+    and resume through the normal Figure-3 path (:class:`ResumeJob` is
+    emitted instead of :class:`StartJob` so the substrate can charge the
+    disk restore).
+    """
+
+    def __init__(self, total_slots: int, config: Optional[PolicyConfig] = None):
+        super().__init__(total_slots, config)
+        self.preempted: set = set()
+
+    def on_submit(self, request, now: float):
+        decisions = super().on_submit(request, now)
+        if not decisions or not isinstance(decisions[-1], EnqueueJob):
+            return decisions
+        job = decisions[-1].job
+        preemptions = self._try_preempt(job, now)
+        if not preemptions:
+            return decisions
+        # The arrival now fits: pull it back out of the queue and start it.
+        self.queue.remove(job)
+        replicas = min(
+            self.free_slots - self.config.launcher_slots, job.max_replicas
+        )
+        start = self._start(job, replicas, now)
+        return self._log(decisions[:-1] + preemptions + [start])
+
+    def _try_preempt(self, job: SchedulerJob, now: float) -> List[Decision]:
+        reserve = self.config.launcher_slots
+        needed = job.min_replicas - (self.free_slots - reserve)
+        victims: List[SchedulerJob] = []
+        freed = 0
+        for candidate in reversed(self.running[1:]):  # index-0 protected
+            if freed >= needed:
+                break
+            if candidate.priority >= job.priority:
+                break
+            victims.append(candidate)
+            freed += candidate.replicas + reserve
+        if freed < needed:
+            return []
+        decisions: List[Decision] = []
+        for victim in victims:
+            self.running.remove(victim)
+            released = victim.replicas
+            victim.replicas = 0
+            victim.state = JobState.QUEUED
+            victim.last_action = now
+            self.preempted.add(victim.name)
+            self.queue.append(victim)
+            decisions.append(PreemptJob(job=victim, released_replicas=released))
+        self.queue.sort(key=lambda j: (-j.priority, j.submit_time, j.seq))
+        return decisions
+
+    def _start_queued(self, job: SchedulerJob, replicas: int, now: float):
+        start = super()._start_queued(job, replicas, now)
+        if job.name in self.preempted:
+            self.preempted.discard(job.name)
+            return ResumeJob(job=job, replicas=replicas)
+        return start

@@ -1,0 +1,159 @@
+"""The four evaluation metrics of §4.3.
+
+* **Total time** — end-to-end runtime from the start of the first job to
+  the end of the last job.
+* **Cluster utilization** — average fraction of cluster slots occupied by
+  job workers over the experiment.
+* **Weighted mean response time** — mean of (start − submit), weighted by
+  job priority.
+* **Weighted mean completion time** — mean of (completion − submit),
+  weighted by job priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..units import format_duration
+
+__all__ = ["JobOutcome", "SchedulerMetrics", "compute_metrics", "ReplicaTimeline"]
+
+
+@dataclass
+class ReplicaTimeline:
+    """Step function of a job's worker count over time.
+
+    Samples are ``(time, replicas)`` change-points; the job holds
+    ``replicas`` workers from that time until the next sample.
+    """
+
+    samples: List[Tuple[float, int]] = field(default_factory=list)
+
+    def record(self, time: float, replicas: int) -> None:
+        if self.samples and time < self.samples[-1][0]:
+            raise SchedulingError("replica timeline must be monotonic in time")
+        if self.samples and self.samples[-1][1] == replicas:
+            return
+        self.samples.append((time, replicas))
+
+    def slot_seconds(self, until: float) -> float:
+        """Integral of replicas over time up to ``until``."""
+        total = 0.0
+        for (t0, r), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += r * (min(t1, until) - min(t0, until))
+        if self.samples:
+            t_last, r_last = self.samples[-1]
+            if until > t_last:
+                total += r_last * (until - t_last)
+        return total
+
+    def value_at(self, time: float) -> int:
+        value = 0
+        for t, r in self.samples:
+            if t > time:
+                break
+            value = r
+        return value
+
+
+@dataclass
+class JobOutcome:
+    """Everything the metrics need to know about one finished job."""
+
+    name: str
+    priority: int
+    submit_time: float
+    start_time: float
+    completion_time: float
+    timeline: ReplicaTimeline = field(default_factory=ReplicaTimeline)
+    size_class: Optional[str] = None
+    rescale_count: int = 0
+
+    @property
+    def response_time(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def turnaround_time(self) -> float:
+        return self.completion_time - self.submit_time
+
+    def validate(self) -> None:
+        if not (self.submit_time <= self.start_time <= self.completion_time):
+            raise SchedulingError(
+                f"job {self.name}: submit <= start <= completion violated "
+                f"({self.submit_time}, {self.start_time}, {self.completion_time})"
+            )
+
+
+@dataclass(frozen=True)
+class SchedulerMetrics:
+    """The Table-1 row for one scheduling policy."""
+
+    policy: str
+    total_time: float
+    utilization: float
+    weighted_mean_response: float
+    weighted_mean_completion: float
+    job_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_time": self.total_time,
+            "utilization": self.utilization,
+            "weighted_mean_response": self.weighted_mean_response,
+            "weighted_mean_completion": self.weighted_mean_completion,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.policy:>13}: total={format_duration(self.total_time)} "
+            f"util={self.utilization * 100:.2f}% "
+            f"resp={self.weighted_mean_response:.2f}s "
+            f"compl={self.weighted_mean_completion:.2f}s"
+        )
+
+
+def compute_metrics(
+    policy: str,
+    outcomes: Sequence[JobOutcome],
+    total_slots: int,
+    span: Optional[Tuple[float, float]] = None,
+) -> SchedulerMetrics:
+    """Aggregate job outcomes into the paper's four metrics.
+
+    ``span`` overrides the measurement window; by default it runs from the
+    first job start to the last completion ("start of the first job to the
+    end of the last job").
+    """
+    if not outcomes:
+        raise SchedulingError("compute_metrics needs at least one job outcome")
+    for outcome in outcomes:
+        outcome.validate()
+    if span is None:
+        begin = min(o.start_time for o in outcomes)
+        end = max(o.completion_time for o in outcomes)
+    else:
+        begin, end = span
+    duration = end - begin
+    if duration <= 0:
+        raise SchedulingError(f"degenerate measurement window [{begin}, {end}]")
+
+    busy = sum(o.timeline.slot_seconds(end) for o in outcomes)
+    utilization = busy / (total_slots * duration)
+
+    weights = float(sum(o.priority for o in outcomes))
+    if weights <= 0:
+        raise SchedulingError("total priority weight must be positive")
+    response = sum(o.priority * o.response_time for o in outcomes) / weights
+    completion = sum(o.priority * o.turnaround_time for o in outcomes) / weights
+
+    return SchedulerMetrics(
+        policy=policy,
+        total_time=duration,
+        utilization=utilization,
+        weighted_mean_response=response,
+        weighted_mean_completion=completion,
+        job_count=len(outcomes),
+    )

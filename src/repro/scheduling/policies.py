@@ -1,0 +1,82 @@
+"""The four scheduling policies of the evaluation (§4.3).
+
+All four share one implementation — the Figure-2/3 elastic algorithm —
+parameterized exactly as the paper emulates them (§4.3.2):
+
+* **elastic** — the real thing.
+* **moldable** — "emulated by setting a large T_rescale_gap value to
+  prevent the jobs from rescaling after they are launched".
+* **rigid-min** (``min_replicas``) — "emulated by setting the same value
+  for min_replicas and max_replicas" = the job's minimum.
+* **rigid-max** (``max_replicas``) — likewise pinned to the maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .job import JobRequest
+from .policy import PolicyConfig
+
+__all__ = ["make_policy", "POLICY_NAMES", "DEFAULT_RESCALE_GAP"]
+
+#: The T_rescale_gap used throughout the paper's experiments.
+DEFAULT_RESCALE_GAP = 180.0
+
+POLICY_NAMES = ("elastic", "moldable", "min_replicas", "max_replicas")
+
+
+def _pin_min(request: JobRequest) -> JobRequest:
+    return request.with_rigid_replicas(request.min_replicas)
+
+
+def _pin_max(request: JobRequest) -> JobRequest:
+    return request.with_rigid_replicas(request.max_replicas)
+
+
+def make_policy(
+    name: str,
+    rescale_gap: float = DEFAULT_RESCALE_GAP,
+    launcher_slots: int = 0,
+    shrink_filter=None,
+) -> PolicyConfig:
+    """Build the :class:`PolicyConfig` for one of the paper's policies.
+
+    >>> make_policy("moldable").is_moldable
+    True
+    >>> make_policy("min_replicas").job_transform(
+    ...     JobRequest("j", min_replicas=2, max_replicas=8)).max_replicas
+    2
+    """
+    if name == "elastic":
+        return PolicyConfig(
+            name=name,
+            rescale_gap=rescale_gap,
+            launcher_slots=launcher_slots,
+            shrink_filter=shrink_filter,
+        )
+    if name == "moldable":
+        return PolicyConfig(
+            name=name,
+            rescale_gap=math.inf,
+            launcher_slots=launcher_slots,
+            shrink_filter=shrink_filter,
+        )
+    if name == "min_replicas":
+        return PolicyConfig(
+            name=name,
+            rescale_gap=rescale_gap,
+            launcher_slots=launcher_slots,
+            job_transform=_pin_min,
+            shrink_filter=shrink_filter,
+        )
+    if name == "max_replicas":
+        return PolicyConfig(
+            name=name,
+            rescale_gap=rescale_gap,
+            launcher_slots=launcher_slots,
+            job_transform=_pin_max,
+            shrink_filter=shrink_filter,
+        )
+    raise ValueError(f"unknown policy {name!r}; available: {POLICY_NAMES}")

@@ -1,0 +1,114 @@
+"""Decision types and policy configuration.
+
+The policy engine consumes job events and emits :class:`Decision` objects;
+the substrate (scheduler simulator or Kubernetes operator) applies them.
+Keeping decisions explicit makes the Figure-2/3 algorithm testable without
+any cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .job import JobRequest, SchedulerJob
+
+__all__ = [
+    "Decision",
+    "StartJob",
+    "ShrinkJob",
+    "ExpandJob",
+    "EnqueueJob",
+    "PolicyConfig",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Base class for scheduling decisions."""
+
+    job: SchedulerJob
+
+
+@dataclass(frozen=True)
+class StartJob(Decision):
+    """Launch ``job`` with ``replicas`` workers (createOrExpandJob on a new
+    or queued job)."""
+
+    replicas: int
+
+
+@dataclass(frozen=True)
+class ShrinkJob(Decision):
+    """Scale a running job down (shrinkJob in Figure 2)."""
+
+    from_replicas: int
+    to_replicas: int
+
+
+@dataclass(frozen=True)
+class ExpandJob(Decision):
+    """Scale a running job up (createOrExpandJob in Figure 3)."""
+
+    from_replicas: int
+    to_replicas: int
+
+
+@dataclass(frozen=True)
+class EnqueueJob(Decision):
+    """Hold ``job`` in the internal priority queue."""
+
+
+@dataclass
+class PolicyConfig:
+    """Tunable parameters of the elastic policy (§3.2.1).
+
+    Parameters
+    ----------
+    rescale_gap:
+        :math:`T_{rescale\\_gap}` — the minimum gap between any two
+        scheduling events (creation, shrink, expand) for one job.
+        ``math.inf`` turns the elastic policy into the moldable policy
+        (§4.3.2: "emulated by setting a large T_rescale_gap").
+    launcher_slots:
+        Slots consumed by a job's launcher pod in addition to its workers.
+        The paper's Figure-2 pseudocode reserves one slot
+        (``freeSlots - 1``); its simulator models none ("we do not consider
+        the overhead added by the operator"), so the default here is 0 and
+        the Kubernetes path uses 1.
+    job_transform:
+        Applied to every submission before scheduling; the rigid baselines
+        pin ``min == max`` here, exactly how the paper emulates them.
+    shrink_filter:
+        Failure-injection hook: return ``False`` to make a shrink attempt
+        fail (the pseudocode's ``if shrinkJob(...)`` guard).
+    literal_completion_budget:
+        Figure 3 taken literally redistributes only the workers freed by
+        *this* completion; slots left over from earlier events are never
+        re-offered to the queue, which can strand a queued job forever
+        (its minimum larger than any single completion).  The default
+        (``False``) uses the accumulated free slots as the budget —
+        deadlock-free and faithful to the stated intent ("the freed CPUs
+        are reassigned ... to start new jobs").  Set ``True`` to study the
+        literal pseudocode (see the ablation bench).
+    """
+
+    name: str = "elastic"
+    rescale_gap: float = 180.0
+    launcher_slots: int = 0
+    job_transform: Callable[[JobRequest], JobRequest] = field(
+        default=lambda request: request
+    )
+    shrink_filter: Optional[Callable[[SchedulerJob, int], bool]] = None
+    literal_completion_budget: bool = False
+
+    def __post_init__(self):
+        if self.rescale_gap < 0:
+            raise ValueError("rescale_gap must be non-negative")
+        if self.launcher_slots < 0:
+            raise ValueError("launcher_slots must be non-negative")
+
+    @property
+    def is_moldable(self) -> bool:
+        return math.isinf(self.rescale_gap)

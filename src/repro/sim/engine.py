@@ -1,0 +1,244 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate for every virtual-time component in this
+repository: the Kubernetes cluster, the Charm++ runtime, the operator, and
+the scheduler experiments all run as callbacks and generator-based processes
+over one shared :class:`Engine`.
+
+Design notes
+------------
+* Events are ordered by ``(time, sequence)`` so simulations are fully
+  deterministic: two events at the same timestamp fire in scheduling order.
+* Timers are cancellable; cancellation marks the heap entry dead rather than
+  re-heapifying (standard lazy deletion).
+* The engine is single-threaded and re-entrant: callbacks may schedule
+  further events, create processes, or stop the simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..errors import SimError, StopSimulation
+
+__all__ = ["Engine", "Timer"]
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Instances are returned by :meth:`Engine.schedule` /
+    :meth:`Engine.schedule_at` and compare by their scheduled ``(time, seq)``
+    so they can live directly in the engine's heap.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Timer t={self.time:.6g} seq={self.seq} {state}>"
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start:
+        Initial virtual time (seconds).  Defaults to ``0.0``.
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(5.0, fired.append, "hello")
+    >>> eng.run()
+    5.0
+    >>> fired
+    ['hello']
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._seq = 0
+        self._heap: List[Timer] = []
+        self._running = False
+        self._stopped = False
+        self._processes: List[Any] = []  # live Process objects (debugging aid)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule into the past (time={time!r} < now={self._now!r})"
+            )
+        timer = Timer(float(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_soon(self, fn: Callable, *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        return self.schedule_at(self._now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Processes (defined in repro.sim.process; imported lazily to avoid a
+    # circular dependency)
+    # ------------------------------------------------------------------
+
+    def process(self, generator, name: Optional[str] = None):
+        """Start a generator-based process; returns a :class:`Process`.
+
+        The process begins executing at the current virtual time (after any
+        already-queued events at this timestamp).
+        """
+        from .process import Process
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def event(self):
+        """Create a fresh one-shot :class:`~repro.sim.events.Event`."""
+        from .events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None):
+        """Return an event that fires ``delay`` seconds from now."""
+        from .events import Event
+
+        ev = Event(self)
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` when idle."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        timer = heapq.heappop(self._heap)
+        self._now = timer.time
+        fn, args = timer.fn, timer.args
+        timer.cancel()  # free references; marks as consumed
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event heap drains, ``until`` is reached, or stopped.
+
+        Parameters
+        ----------
+        until:
+            Optional virtual-time horizon.  Events scheduled strictly after
+            ``until`` are left pending and the clock is advanced to ``until``.
+        max_events:
+            Optional safety valve for runaway simulations; raises
+            :class:`SimError` when exceeded.
+
+        Returns
+        -------
+        float
+            The virtual time when the run ended.
+        """
+        if self._running:
+            raise SimError("Engine.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        count = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = float(until)
+                    break
+                self.step()
+                count += 1
+                if max_events is not None and count > max_events:
+                    raise SimError(f"exceeded max_events={max_events}")
+        except StopSimulation:
+            pass
+        finally:
+            self._running = False
+        if until is not None and self._now < until and self.peek() is None:
+            # Nothing left to do; advance the clock to the horizon so
+            # repeated run(until=...) calls observe monotonic time.
+            self._now = float(until)
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) pending timers."""
+        return sum(1 for t in self._heap if not t.cancelled)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self._now:.6g} pending={self.pending_count()}>"
+
+
+def run_all(engine: Engine, processes: Iterable) -> float:
+    """Convenience: run the engine until all given processes complete."""
+    engine.run()
+    for proc in processes:
+        if not proc.triggered:
+            raise SimError(f"process {proc!r} did not complete")
+    return engine.now

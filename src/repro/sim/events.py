@@ -1,0 +1,171 @@
+"""One-shot events for the simulation kernel.
+
+An :class:`Event` may be *succeeded* with a value or *failed* with an
+exception, exactly once.  Processes wait on events by yielding them; plain
+callbacks can subscribe via :meth:`Event.add_callback`.
+
+:class:`AnyOf` and :class:`AllOf` compose events; they are themselves events
+and can be yielded from processes (e.g. to wait for a CCS acknowledgement
+with a timeout).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import SimError
+
+__all__ = ["Event", "AnyOf", "AllOf"]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event bound to an :class:`~repro.sim.engine.Engine`."""
+
+    def __init__(self, engine, name: Optional[str] = None):
+        self.engine = engine
+        self.name = name
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._dispatched = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value.  Raises if the event failed or is pending."""
+        if not self.triggered:
+            raise SimError(f"event {self!r} has not been triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None``."""
+        return self._exc
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule callbacks at ``now``."""
+        if self.triggered:
+            raise SimError(f"event {self!r} already triggered")
+        self._value = value
+        self._schedule_dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters receive ``exc``."""
+        if self.triggered:
+            raise SimError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError("Event.fail() requires an exception instance")
+        self._exc = exc
+        self._value = None
+        self._schedule_dispatch()
+        return self
+
+    def _schedule_dispatch(self) -> None:
+        if not self._dispatched:
+            self._dispatched = True
+            self.engine.call_soon(self._dispatch)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Invoke ``cb(event)`` once the event triggers.
+
+        If the event already triggered, the callback is scheduled to run at
+        the current virtual time (never synchronously), preserving the
+        invariant that callbacks observe a settled event loop.
+        """
+        if self.triggered and self._dispatched:
+            self.engine.call_soon(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or self.__class__.__name__
+        if not self.triggered:
+            state = "pending"
+        elif self._exc is not None:
+            state = f"failed({self._exc!r})"
+        else:
+            state = f"ok({self._value!r})"
+        return f"<{label} {state}>"
+
+
+class AnyOf(Event):
+    """Fires when the *first* of ``events`` triggers.
+
+    The value is a ``(index, value)`` tuple identifying the winner.  If the
+    winning event failed, this event fails with the same exception.
+    """
+
+    def __init__(self, engine, events: Sequence[Event], name: Optional[str] = None):
+        super().__init__(engine, name=name)
+        if not events:
+            raise SimError("AnyOf requires at least one event")
+        self.events = list(events)
+        for index, ev in enumerate(self.events):
+            ev.add_callback(lambda e, i=index: self._on_child(i, e))
+
+    def _on_child(self, index: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+        else:
+            self.succeed((index, ev.value))
+
+
+class AllOf(Event):
+    """Fires when *all* of ``events`` have triggered successfully.
+
+    The value is the list of child values in input order.  The first child
+    failure fails this event immediately.
+    """
+
+    def __init__(self, engine, events: Sequence[Event], name: Optional[str] = None):
+        super().__init__(engine, name=name)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.exception is not None:
+            self.fail(ev.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])

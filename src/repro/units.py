@@ -1,0 +1,145 @@
+"""Quantity parsing and formatting helpers.
+
+Kubernetes expresses resource quantities as strings (``"16"`` CPUs, ``"250m"``
+milli-CPUs, ``"64Mi"`` bytes); the paper expresses durations in seconds
+(``T_rescale_gap = 180s``).  This module centralises conversions so the rest
+of the code operates on plain floats/ints.
+
+CPU quantities are represented as **float cores** (``"250m"`` → ``0.25``).
+Byte quantities are represented as **int bytes**.  Durations are **float
+seconds**.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import InvalidObjectError
+
+# Binary (Ki/Mi/Gi...) and decimal (k/M/G...) suffixes accepted by Kubernetes.
+_BINARY_SUFFIXES = {
+    "Ki": 1024,
+    "Mi": 1024**2,
+    "Gi": 1024**3,
+    "Ti": 1024**4,
+    "Pi": 1024**5,
+    "Ei": 1024**6,
+}
+_DECIMAL_SUFFIXES = {
+    "k": 10**3,
+    "M": 10**6,
+    "G": 10**9,
+    "T": 10**12,
+    "P": 10**15,
+    "E": 10**18,
+}
+
+_DURATION_SUFFIXES = {
+    "ms": 1e-3,
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]*)\s*$")
+
+
+def parse_cpu(value) -> float:
+    """Parse a CPU quantity into float cores.
+
+    Accepts ints/floats (returned as-is), plain numeric strings, and the
+    Kubernetes milli-CPU form ``"<n>m"``.
+
+    >>> parse_cpu("250m")
+    0.25
+    >>> parse_cpu(16)
+    16.0
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise InvalidObjectError(f"negative cpu quantity: {value!r}")
+        return float(value)
+    match = _QUANTITY_RE.match(str(value))
+    if not match:
+        raise InvalidObjectError(f"malformed cpu quantity: {value!r}")
+    number, suffix = float(match.group(1)), match.group(2)
+    if suffix == "":
+        return number
+    if suffix == "m":
+        return number / 1000.0
+    raise InvalidObjectError(f"unknown cpu suffix {suffix!r} in {value!r}")
+
+
+def parse_bytes(value) -> int:
+    """Parse a memory/storage quantity into integer bytes.
+
+    >>> parse_bytes("64Mi")
+    67108864
+    >>> parse_bytes("1G")
+    1000000000
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise InvalidObjectError(f"negative byte quantity: {value!r}")
+        return int(value)
+    match = _QUANTITY_RE.match(str(value))
+    if not match:
+        raise InvalidObjectError(f"malformed byte quantity: {value!r}")
+    number, suffix = float(match.group(1)), match.group(2)
+    if suffix == "":
+        return int(number)
+    if suffix in _BINARY_SUFFIXES:
+        return int(number * _BINARY_SUFFIXES[suffix])
+    if suffix in _DECIMAL_SUFFIXES:
+        return int(number * _DECIMAL_SUFFIXES[suffix])
+    raise InvalidObjectError(f"unknown byte suffix {suffix!r} in {value!r}")
+
+
+def parse_duration(value) -> float:
+    """Parse a duration into float seconds.
+
+    Accepts numbers (seconds) or strings with an ``ms``/``s``/``m``/``h``/``d``
+    suffix.
+
+    >>> parse_duration("180s")
+    180.0
+    >>> parse_duration("3m")
+    180.0
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise InvalidObjectError(f"negative duration: {value!r}")
+        return float(value)
+    match = _QUANTITY_RE.match(str(value))
+    if not match:
+        raise InvalidObjectError(f"malformed duration: {value!r}")
+    number, suffix = float(match.group(1)), match.group(2)
+    if suffix == "":
+        return number
+    if suffix in _DURATION_SUFFIXES:
+        return number * _DURATION_SUFFIXES[suffix]
+    raise InvalidObjectError(f"unknown duration suffix {suffix!r} in {value!r}")
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Format bytes with the largest exact-enough binary suffix.
+
+    >>> format_bytes(67108864)
+    '64.0Mi'
+    """
+    size = float(num_bytes)
+    for suffix in ("", "Ki", "Mi", "Gi", "Ti", "Pi"):
+        if abs(size) < 1024.0 or suffix == "Pi":
+            if suffix == "":
+                return str(int(size))
+            return f"{size:.1f}{suffix}"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Format seconds compactly for reports (``"2511.0s"``, ``"1.5ms"``)."""
+    if seconds != 0 and abs(seconds) < 0.1:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.1f}s"

@@ -1,0 +1,118 @@
+"""Tests for the §6 extensions: evolving jobs and rescale decisions."""
+
+import pytest
+
+from repro.apps.evolving import EfficiencyDecision, EvolvingApp, EvolvingConfig
+from repro.apps.modeled import ModeledApp, ModeledAppConfig
+from repro.charm import CcsClient, CcsServer, CharmRuntime
+from repro.sim import Engine
+
+from tests.apps.test_jacobi2d import run_app
+
+
+class TestEvolvingApp:
+    def make_config(self):
+        # Three phases: light work on 2 PEs, heavy (refined) work on 8,
+        # light again on 4 — the app tracks the schedule by itself.
+        return EvolvingConfig(
+            phases=(
+                (50, lambda p: 0.2 / p, 2),
+                (50, lambda p: 0.8 / p, 8),
+                (50, lambda p: 0.2 / p, 4),
+            ),
+            sync_every=10,
+        )
+
+    def test_app_rescales_itself(self, engine):
+        rts = CharmRuntime(engine, num_pes=2)
+        app = EvolvingApp(self.make_config())
+        run_app(engine, rts, app)
+        assert app.completed_steps == 150
+        kinds = [(old, new) for _, old, new in app.self_rescales]
+        assert (2, 8) in kinds  # expanded for the refined phase
+        assert (8, 4) in kinds  # shrank afterwards
+        assert rts.num_pes == 4
+
+    def test_no_external_trigger_needed(self, engine):
+        # No CCS server, no operator: the rescales are purely internal.
+        rts = CharmRuntime(engine, num_pes=2)
+        app = EvolvingApp(self.make_config())
+        proc = engine.process(app.main(rts))
+        engine.run()
+        assert proc.triggered
+        assert len(app.self_rescales) >= 2
+
+    def test_max_pes_cap_respected(self, engine):
+        rts = CharmRuntime(engine, num_pes=2)
+        app = EvolvingApp(self.make_config(), max_pes=4)
+        run_app(engine, rts, app)
+        assert all(new <= 4 for _, _, new in app.self_rescales)
+
+    def test_faster_than_static_small_size(self):
+        def makespan(app_factory, pes):
+            engine = Engine()
+            rts = CharmRuntime(engine, num_pes=pes)
+            app = app_factory()
+            engine.process(app.main(rts))
+            engine.run()
+            return engine.now
+
+        evolving = makespan(lambda: EvolvingApp(self.make_config()), 2)
+        static = makespan(lambda: EvolvingApp(self.make_config(), max_pes=2), 2)
+        assert evolving < static  # tracking the load schedule pays off
+
+
+class TestEfficiencyDecision:
+    def make_app(self, decision, steps=200):
+        config = ModeledAppConfig(
+            name="m", total_steps=steps, step_time=lambda p: 0.05,
+            data_bytes=1 << 20, chares=8,
+        )
+        return ModeledApp(config, decision=decision)
+
+    def test_declines_when_nearly_finished(self, engine):
+        decision = EfficiencyDecision(max_progress=0.5)
+        rts = CharmRuntime(engine, num_pes=2)
+        app = self.make_app(decision)
+        # Request a rescale at 80% progress: 200 steps x 0.05 = 10 s total.
+        run_app(engine, rts, app, rescale_plan=[(8.0, 6)])
+        assert rts.num_pes == 2  # declined
+        assert decision.declined and decision.declined[0][1] == "nearly finished"
+
+    def test_declines_inefficient_expansion(self, engine):
+        # Flat step time: expanding cannot help; efficiency ~ current/target.
+        decision = EfficiencyDecision(
+            min_efficiency=0.6, max_progress=1.0, step_time=lambda p: 0.05
+        )
+        rts = CharmRuntime(engine, num_pes=2)
+        app = self.make_app(decision)
+        run_app(engine, rts, app, rescale_plan=[(1.0, 8)])
+        assert rts.num_pes == 2
+        assert "efficiency" in decision.declined[0][1]
+
+    def test_accepts_efficient_expansion(self, engine):
+        decision = EfficiencyDecision(
+            min_efficiency=0.6, max_progress=1.0, step_time=lambda p: 0.1 / p
+        )
+        config = ModeledAppConfig(
+            name="m", total_steps=400, step_time=lambda p: 0.1 / p,
+            data_bytes=1 << 20, chares=8,
+        )
+        rts = CharmRuntime(engine, num_pes=2)
+        app = ModeledApp(config, decision=decision)
+        run_app(engine, rts, app, rescale_plan=[(2.0, 8)])
+        assert rts.num_pes == 8
+        assert decision.declined == []
+
+    def test_shrinks_exempt_from_efficiency_rule(self, engine):
+        decision = EfficiencyDecision(
+            min_efficiency=0.99, max_progress=1.0, step_time=lambda p: 0.05
+        )
+        rts = CharmRuntime(engine, num_pes=8)
+        app = self.make_app(decision)
+        run_app(engine, rts, app, rescale_plan=[(1.0, 2)])
+        assert rts.num_pes == 2  # shrink allowed despite the threshold
+
+    def test_bad_progress_bound_rejected(self):
+        with pytest.raises(ValueError):
+            EfficiencyDecision(max_progress=0.0)

@@ -1,0 +1,145 @@
+"""LeanMD and ModeledApp tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.leanmd import LeanMD, LeanMDConfig
+from repro.apps.modeled import ModelChare, ModeledApp, ModeledAppConfig
+from repro.charm import CharmRuntime
+from repro.perfmodel import size_class
+from repro.sim import Engine
+
+from tests.apps.test_jacobi2d import run_app
+
+
+class TestLeanMD:
+    def make(self, engine, pes=4, **kwargs):
+        config = LeanMDConfig(cells=(2, 2, 2), atoms_per_cell=6, steps=10, **kwargs)
+        rts = CharmRuntime(engine, num_pes=pes)
+        return rts, LeanMD(config)
+
+    def test_runs_to_completion(self, engine):
+        rts, app = self.make(engine)
+        run_app(engine, rts, app)
+        assert app.completed_steps == 10
+        assert len(app.energy_history) == 10
+
+    def test_atom_count_conserved(self, engine):
+        rts, app = self.make(engine)
+        run_app(engine, rts, app)
+        assert app.total_atoms(rts) == 8 * 6
+
+    def test_positions_stay_in_unit_box(self, engine):
+        rts, app = self.make(engine)
+        run_app(engine, rts, app)
+        for cell in rts.elements(app.proxy.array_id):
+            assert np.all(cell.positions >= 0.0)
+            assert np.all(cell.positions < 1.0)
+
+    def test_atoms_actually_move(self, engine):
+        rts, app = self.make(engine)
+        run_app(engine, rts, app)
+        assert any(e > 0 for e in app.energy_history)
+
+    def test_deterministic_across_pe_counts(self):
+        def energies(pes):
+            engine = Engine()
+            rts, app = self.make(engine, pes=pes)
+            run_app(engine, rts, app)
+            return app.energy_history
+
+        assert energies(2) == pytest.approx(energies(5), rel=1e-12)
+
+    def test_rescale_preserves_simulation(self, engine):
+        config = LeanMDConfig(cells=(2, 2, 2), atoms_per_cell=6, steps=30,
+                              compute_per_pair=2e-6)
+        rts = CharmRuntime(engine, num_pes=4)
+        app = LeanMD(config)
+        run_app(engine, rts, app, rescale_plan=[(0.01, 2)])
+        assert rts.num_pes == 2
+        assert app.total_atoms(rts) == 8 * 6
+        # Against an unrescaled run: identical energy trajectory.
+        engine2 = Engine()
+        rts2 = CharmRuntime(engine2, num_pes=4)
+        app2 = LeanMD(config)
+        run_app(engine2, rts2, app2)
+        assert app.energy_history == pytest.approx(app2.energy_history, rel=1e-12)
+
+    def test_migration_rebalances_ownership(self, engine):
+        # With a long run and periodic migration, every atom is always
+        # inside its owning cell right after a migration step.
+        config = LeanMDConfig(cells=(2, 2, 2), atoms_per_cell=6, steps=20,
+                              migrate_every=5, dt=2e-3)
+        rts = CharmRuntime(engine, num_pes=4)
+        app = LeanMD(config)
+        run_app(engine, rts, app)
+        size = np.array(config.cell_size)
+        for cell in rts.elements(app.proxy.array_id):
+            if cell.atom_count == 0:
+                continue
+            owners = np.floor(cell.positions / size).astype(int) % np.array(
+                config.cells
+            )
+            assert np.all(owners == np.array(cell.index))
+
+
+class TestModeledApp:
+    def make_config(self, steps=100, step_time=None):
+        return ModeledAppConfig(
+            name="m",
+            total_steps=steps,
+            step_time=step_time or (lambda p: 1.0 / p),
+            data_bytes=1 << 20,
+            chares=8,
+            sync_every=10,
+        )
+
+    def test_virtual_time_follows_model(self, engine):
+        rts = CharmRuntime(engine, num_pes=4)
+        app = ModeledApp(self.make_config(steps=100))
+        run_app(engine, rts, app)
+        # 100 steps at 1/4 s each = 25 s (plus negligible sync costs).
+        assert engine.now == pytest.approx(25.0, rel=0.05)
+
+    def test_more_pes_is_faster(self):
+        def makespan(pes):
+            engine = Engine()
+            rts = CharmRuntime(engine, num_pes=pes)
+            app = ModeledApp(self.make_config(steps=100))
+            run_app(engine, rts, app)
+            return engine.now
+
+        assert makespan(8) < makespan(2)
+
+    def test_rescale_changes_step_rate(self, engine):
+        rts = CharmRuntime(engine, num_pes=2)
+        app = ModeledApp(self.make_config(steps=200))
+        run_app(engine, rts, app, rescale_plan=[(10.0, 8)])
+        assert rts.num_pes == 8
+        # Faster than the unrescaled 200 * 0.5 = 100 s.
+        assert engine.now < 80.0
+
+    def test_virtual_bytes_drive_checkpoint(self, engine):
+        rts = CharmRuntime(engine, num_pes=4)
+        config = ModeledAppConfig(
+            name="big", total_steps=50, step_time=lambda p: 0.01,
+            data_bytes=1 << 30, chares=8,
+        )
+        app = ModeledApp(config)
+        run_app(engine, rts, app, rescale_plan=[(0.05, 2)])
+        (report,) = app.rescale_reports
+        assert report.checkpoint_bytes >= 1 << 30
+
+    def test_from_size_class(self):
+        config = ModeledAppConfig.named("large")
+        cls = size_class("large")
+        assert config.total_steps == cls.timesteps
+        assert config.data_bytes == cls.data_bytes
+        assert config.chares == cls.max_replicas * 2
+        # Step time follows the piecewise model.
+        assert config.step_time(8) == pytest.approx(cls.model.time_per_step(8))
+
+    def test_model_chare_extra_bytes(self):
+        chare = ModelChare(0, block_bytes=12345)
+        assert chare.pup_extra_bytes() == 12345
+        assert chare.pup_bytes() > 12345

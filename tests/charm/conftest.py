@@ -1,0 +1,60 @@
+"""Fixtures and helper chares for Charm++ runtime tests."""
+
+import numpy as np
+import pytest
+
+from repro.charm import Chare, CharmRuntime
+
+
+class Counter(Chare):
+    """Minimal chare: counts pings, optionally charging compute time."""
+
+    def __init__(self, index, cost=0.0):
+        super().__init__(index)
+        self.count = 0
+        self.cost = cost
+
+    def ping(self):
+        self.count += 1
+        if self.cost:
+            self.charge(self.cost)
+
+    def ping_and_forward(self, dest):
+        self.count += 1
+        self.proxy[dest].ping()
+
+    def reduce_count(self):
+        self.contribute(self.count, "sum")
+
+
+class Holder(Chare):
+    """Chare carrying numpy state, for migration/checkpoint fidelity tests."""
+
+    def __init__(self, index, size=64):
+        super().__init__(index)
+        self.data = np.full(size, float(index if isinstance(index, int) else 1))
+        self.steps = 0
+
+    def bump(self):
+        self.steps += 1
+        self.data += 1.0
+        self.charge(1e-4 * self.data.size)
+
+
+@pytest.fixture
+def rts(engine):
+    """A 4-PE standalone runtime."""
+    return CharmRuntime(engine, num_pes=4)
+
+
+def settle(engine, rts):
+    """Run the engine until the runtime quiesces (helper for direct sends)."""
+    done = {}
+
+    def waiter():
+        yield rts.wait_quiescence()
+        done["t"] = engine.now
+
+    engine.process(waiter())
+    engine.run()
+    return done.get("t")

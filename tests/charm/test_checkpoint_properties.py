@@ -1,0 +1,133 @@
+"""Property-based tests: checkpoint/restore round-trips arbitrary state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.charm import Chare, CharmRuntime, checkpoint_to_shm, restore_from_shm
+from repro.charm.faulttolerance import DiskCheckpointStore
+from repro.sim import Engine
+
+
+class Bag(Chare):
+    """A chare holding arbitrary (picklable) state."""
+
+    def __init__(self, index, payload):
+        super().__init__(index)
+        self.payload = payload
+
+
+# Arbitrary nested payloads: scalars, strings, lists/dicts, numpy arrays.
+scalars = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=24),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def np_arrays(draw):
+    shape = draw(st.integers(min_value=0, max_value=16))
+    dtype = draw(st.sampled_from(["float64", "int32", "uint8"]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    if dtype == "float64":
+        return rng.random(shape)
+    return rng.integers(0, 100, size=shape).astype(dtype)
+
+
+payloads = st.recursive(
+    st.one_of(scalars, np_arrays()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=8,
+)
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, list):
+        return isinstance(b, list) and len(a) == len(b) and all(
+            _equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_equal(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    return a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payloads_list=st.lists(payloads, min_size=1, max_size=6),
+    old_pes=st.integers(min_value=1, max_value=6),
+    new_pes=st.integers(min_value=1, max_value=6),
+)
+def test_shm_checkpoint_roundtrip_arbitrary_state(payloads_list, old_pes, new_pes):
+    engine = Engine()
+    rts = CharmRuntime(engine, num_pes=old_pes)
+    proxy = rts.create_array(
+        Bag, range(len(payloads_list)), kwargs={"payload": None}
+    )
+    for i, payload in enumerate(payloads_list):
+        rts.element(proxy.array_id, i).payload = payload
+    image = checkpoint_to_shm(rts)
+    rts.replace_pes(new_pes)
+    restored = restore_from_shm(rts, image)
+    assert restored == len(payloads_list)
+    for i, payload in enumerate(payloads_list):
+        assert _equal(rts.element(proxy.array_id, i).payload, payload)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payloads_list=st.lists(payloads, min_size=1, max_size=5),
+    pes=st.integers(min_value=1, max_value=4),
+)
+def test_disk_checkpoint_roundtrip_arbitrary_state(payloads_list, pes):
+    engine = Engine()
+    rts = CharmRuntime(engine, num_pes=pes)
+    proxy = rts.create_array(Bag, range(len(payloads_list)), kwargs={"payload": None})
+    for i, payload in enumerate(payloads_list):
+        rts.element(proxy.array_id, i).payload = payload
+    store = DiskCheckpointStore()
+    store.write(rts, "job", completed_steps=3)
+    # Scribble over the live state, then restore.
+    for i in range(len(payloads_list)):
+        rts.element(proxy.array_id, i).payload = "scribbled"
+    store.restore_into(rts, store.read("job"))
+    for i, payload in enumerate(payloads_list):
+        assert _equal(rts.element(proxy.array_id, i).payload, payload)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=24),
+    old_pes=st.integers(min_value=1, max_value=8),
+    new_pes=st.integers(min_value=1, max_value=8),
+)
+def test_restore_population_is_balanced(count, old_pes, new_pes):
+    engine = Engine()
+    rts = CharmRuntime(engine, num_pes=old_pes)
+    rts.create_array(Bag, range(count), kwargs={"payload": 0})
+    image = checkpoint_to_shm(rts)
+    rts.replace_pes(new_pes)
+    restore_from_shm(rts, image, mapping="roundrobin")
+    population = rts.stats()["population"]
+    assert sum(population.values()) == count
+    if count >= new_pes:
+        assert max(population.values()) - min(population.values()) <= 1

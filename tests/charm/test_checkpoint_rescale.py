@@ -1,0 +1,203 @@
+"""Tests for checkpoint/restore and the shrink/expand protocol.
+
+The load-bearing guarantee: application state survives a rescale
+bit-for-bit (real pickling through simulated shared memory).
+"""
+
+import numpy as np
+import pytest
+
+from repro.charm import (
+    CharmRuntime,
+    HostBinding,
+    checkpoint_to_shm,
+    perform_rescale,
+    restore_from_shm,
+)
+from repro.charm.commlayer import MPI_LAYER, NETLRTS_LAYER
+from repro.errors import CheckpointError, RescaleError
+
+from tests.charm.conftest import Counter, Holder, settle
+
+
+def drive(engine, gen):
+    """Run a rescale (or other) generator to completion; return its value."""
+    out = []
+
+    def main():
+        result = yield from gen
+        out.append(result)
+
+    engine.process(main())
+    engine.run()
+    return out[0]
+
+
+class TestCheckpoint:
+    def test_checkpoint_captures_all_elements(self, engine, rts):
+        rts.create_array(Holder, range(8))
+        image = checkpoint_to_shm(rts)
+        assert image.element_count() == 8
+        assert image.total_bytes > 8 * 64 * 8  # at least the numpy payloads
+
+    def test_checkpoint_requires_quiescence(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4))
+        proxy[0].ping()
+        with pytest.raises(CheckpointError, match="quiescence"):
+            checkpoint_to_shm(rts)
+
+    def test_restore_round_trips_state(self, engine, rts):
+        proxy = rts.create_array(Holder, range(6))
+        proxy.broadcast("bump")
+        settle(engine, rts)
+        originals = {c.index: c.data.copy() for c in rts.elements(proxy.array_id)}
+        image = checkpoint_to_shm(rts)
+        rts.replace_pes(3)
+        restored = restore_from_shm(rts, image)
+        assert restored == 6
+        for chare in rts.elements(proxy.array_id):
+            assert np.array_equal(chare.data, originals[chare.index])
+            assert chare.steps == 1
+
+    def test_shm_capacity_enforced(self, engine):
+        # Pods with the default 64 MiB /dev/shm cannot checkpoint ~96 MiB/PE.
+        hosts = [HostBinding(f"w{i}", "node-0", shm_bytes=64 * 1024**2) for i in range(2)]
+        rts = CharmRuntime(engine, num_pes=2, hosts=hosts)
+        rts.create_array(Holder, range(2), kwargs={"size": 96 * 1024**2 // 8})
+        with pytest.raises(CheckpointError, match="/dev/shm"):
+            checkpoint_to_shm(rts)
+
+    def test_large_shm_mount_allows_checkpoint(self, engine):
+        hosts = [HostBinding(f"w{i}", "node-0", shm_bytes=2 * 1024**3) for i in range(2)]
+        rts = CharmRuntime(engine, num_pes=2, hosts=hosts)
+        rts.create_array(Holder, range(2), kwargs={"size": 96 * 1024**2 // 8})
+        image = checkpoint_to_shm(rts)
+        assert image.total_bytes > 96 * 1024**2
+
+    def test_restore_block_mapping(self, engine, rts):
+        rts.create_array(Holder, range(8))
+        image = checkpoint_to_shm(rts)
+        rts.replace_pes(2)
+        restore_from_shm(rts, image, mapping="block")
+        population = rts.stats()["population"]
+        assert sum(population.values()) == 8
+        assert set(population) <= {0, 1}
+
+    def test_restore_bad_mapping_rejected(self, engine, rts):
+        rts.create_array(Holder, range(2))
+        image = checkpoint_to_shm(rts)
+        rts.replace_pes(2)
+        with pytest.raises(CheckpointError):
+            restore_from_shm(rts, image, mapping="hash")
+
+
+class TestRescale:
+    def test_shrink_preserves_state(self, engine, rts):
+        proxy = rts.create_array(Holder, range(8))
+        proxy.broadcast("bump")
+        settle(engine, rts)
+        originals = {c.index: c.data.copy() for c in rts.elements(proxy.array_id)}
+        report = drive(engine, perform_rescale(rts, 2))
+        assert report.kind == "shrink"
+        assert rts.num_pes == 2
+        for chare in rts.elements(proxy.array_id):
+            assert np.array_equal(chare.data, originals[chare.index])
+
+    def test_expand_preserves_state_and_spreads(self, engine):
+        rts = CharmRuntime(engine, num_pes=2)
+        proxy = rts.create_array(Holder, range(8))
+        proxy.broadcast("bump")
+        settle(engine, rts)
+        originals = {c.index: c.data.copy() for c in rts.elements(proxy.array_id)}
+        report = drive(engine, perform_rescale(rts, 4))
+        assert report.kind == "expand"
+        assert rts.num_pes == 4
+        population = rts.stats()["population"]
+        assert len(population) == 4  # LB populated the new PEs
+        for chare in rts.elements(proxy.array_id):
+            assert np.array_equal(chare.data, originals[chare.index])
+
+    def test_rescale_has_four_stages(self, engine, rts):
+        rts.create_array(Holder, range(8))
+        report = drive(engine, perform_rescale(rts, 2))
+        assert set(report.stage_seconds) == {
+            "load_balance", "checkpoint", "restart", "restore",
+        }
+        assert report.total_seconds > 0
+        row = report.row()
+        assert row["total"] == pytest.approx(report.total_seconds)
+
+    def test_rescale_advances_virtual_time(self, engine, rts):
+        rts.create_array(Holder, range(8))
+        t0 = engine.now
+        report = drive(engine, perform_rescale(rts, 2))
+        assert engine.now - t0 == pytest.approx(report.total_seconds)
+
+    def test_noop_rescale(self, engine, rts):
+        rts.create_array(Holder, range(4))
+        report = drive(engine, perform_rescale(rts, 4))
+        assert report.kind == "noop"
+        assert report.total_seconds == 0
+
+    def test_rescale_to_zero_rejected(self, engine, rts):
+        with pytest.raises(RescaleError):
+            drive(engine, perform_rescale(rts, 0))
+
+    def test_messaging_works_after_rescale(self, engine, rts):
+        proxy = rts.create_array(Counter, range(8))
+        drive(engine, perform_rescale(rts, 2))
+        proxy.broadcast("ping")
+        settle(engine, rts)
+        assert all(c.count == 1 for c in rts.elements(proxy.array_id))
+
+    def test_repeated_rescales(self, engine, rts):
+        proxy = rts.create_array(Holder, range(12))
+        for target in (2, 6, 3, 4):
+            drive(engine, perform_rescale(rts, target))
+            assert rts.num_pes == target
+            population = rts.stats()["population"]
+            assert sum(population.values()) == 12
+        assert rts.rescale_count == 4
+
+    def test_restart_dominates_small_problems(self, engine, rts):
+        # Fig 5c: for small problem sizes the restart stage dominates.
+        rts.create_array(Holder, range(8), kwargs={"size": 16})
+        report = drive(engine, perform_rescale(rts, 2))
+        stages = report.stage_seconds
+        assert stages["restart"] > stages["checkpoint"]
+        assert stages["restart"] > stages["restore"]
+        assert stages["restart"] > stages["load_balance"]
+
+    def test_checkpoint_cost_grows_with_problem_size(self, engine):
+        def overhead(elem_size):
+            eng_local = type(engine)()
+            rts_local = CharmRuntime(eng_local, num_pes=4)
+            rts_local.create_array(Holder, range(8), kwargs={"size": elem_size})
+            report = drive(eng_local, perform_rescale(rts_local, 2))
+            return report.stage_seconds["checkpoint"]
+
+        assert overhead(1024 * 1024) > overhead(64)
+
+    def test_netlrts_rescale_slower_than_mpi(self, engine):
+        # The paper's headline for C1: MPI-layer rescaling is much cheaper.
+        def total(layer):
+            eng_local = type(engine)()
+            rts_local = CharmRuntime(eng_local, num_pes=8, commlayer=layer)
+            rts_local.create_array(Holder, range(16))
+            return drive(eng_local, perform_rescale(rts_local, 4)).total_seconds
+
+        assert total(NETLRTS_LAYER) > total(MPI_LAYER)
+
+    def test_rescale_with_new_hosts(self, engine):
+        hosts = [HostBinding(f"w{i}", f"node-{i % 2}", 2**30) for i in range(4)]
+        rts = CharmRuntime(engine, num_pes=4, hosts=hosts)
+        rts.create_array(Holder, range(8))
+        new_hosts = hosts[:2]
+        drive(engine, perform_rescale(rts, 2, hosts=new_hosts))
+        assert [pe.host.pod_name for pe in rts.pes] == ["w0", "w1"]
+
+    def test_rescale_requires_quiescence(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4))
+        proxy[0].ping()
+        with pytest.raises(RescaleError):
+            drive(engine, perform_rescale(rts, 2))

@@ -1,0 +1,197 @@
+"""Tests for migration, location management, and load balancing."""
+
+import numpy as np
+import pytest
+
+from repro.charm import CharmRuntime, greedy_lb, refine_lb
+from repro.charm.location import LocationManager
+from repro.errors import CharmError, LocationError
+
+from tests.charm.conftest import Counter, Holder, settle
+
+
+class TestLocationManager:
+    def test_register_lookup(self):
+        loc = LocationManager()
+        loc.register(0, 5, 2)
+        assert loc.lookup(0, 5) == 2
+
+    def test_duplicate_register_rejected(self):
+        loc = LocationManager()
+        loc.register(0, 1, 0)
+        with pytest.raises(LocationError):
+            loc.register(0, 1, 1)
+
+    def test_move_updates_population(self):
+        loc = LocationManager()
+        loc.register(0, 1, 0)
+        assert loc.move(0, 1, 3) == 0
+        assert loc.lookup(0, 1) == 3
+        assert loc.population() == {3: 1}
+
+    def test_move_to_same_pe_is_noop(self):
+        loc = LocationManager()
+        loc.register(0, 1, 0)
+        assert loc.move(0, 1, 0) == 0
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(LocationError):
+            LocationManager().lookup(0, 9)
+
+    def test_deregister(self):
+        loc = LocationManager()
+        loc.register(0, 1, 0)
+        loc.deregister(0, 1)
+        with pytest.raises(LocationError):
+            loc.lookup(0, 1)
+        with pytest.raises(LocationError):
+            loc.deregister(0, 1)
+
+    def test_elements_on_sorted(self):
+        loc = LocationManager()
+        for i in (3, 1, 2):
+            loc.register(0, i, 0)
+        assert loc.elements_on(0) == [(0, 1), (0, 2), (0, 3)]
+
+
+class TestMigration:
+    def test_migrate_moves_object_and_state(self, engine, rts):
+        proxy = rts.create_array(Holder, range(4), mapping="roundrobin")
+        chare = rts.element(proxy.array_id, 0)
+        before = chare.data.copy()
+        moved = rts.migrate(proxy.array_id, 0, 3)
+        assert moved > 0
+        assert rts.location_of(proxy.array_id, 0) == 3
+        after = rts.element(proxy.array_id, 0)
+        assert after is chare
+        assert np.array_equal(after.data, before)
+
+    def test_messages_forwarded_after_migration(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4), mapping="roundrobin")
+        # Queue a message, then migrate the target before delivery.
+        proxy[0].ping()
+        rts.migrate(proxy.array_id, 0, 2)
+        settle(engine, rts)
+        assert rts.element(proxy.array_id, 0).count == 1
+
+    def test_migrate_to_dead_pe_rejected(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4))
+        rts.pe(3).kill()
+        with pytest.raises(CharmError):
+            rts.migrate(proxy.array_id, 0, 3)
+
+    def test_migrate_to_unknown_pe_rejected(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4))
+        with pytest.raises(CharmError):
+            rts.migrate(proxy.array_id, 0, 99)
+
+
+class TestGreedyLB:
+    def test_balances_equal_loads(self):
+        loads = {(0, i): 1.0 for i in range(8)}
+        assignment = {(0, i): 0 for i in range(8)}  # all on PE 0
+        moves = greedy_lb(loads, assignment, [0, 1, 2, 3])
+        final = dict(assignment)
+        final.update(moves)
+        counts = {}
+        for pe in final.values():
+            counts[pe] = counts.get(pe, 0) + 1
+        assert all(c == 2 for c in counts.values())
+
+    def test_heavy_object_isolated(self):
+        loads = {(0, 0): 10.0, (0, 1): 1.0, (0, 2): 1.0, (0, 3): 1.0}
+        moves = greedy_lb(loads, {k: 0 for k in loads}, [0, 1])
+        final = {k: moves.get(k, 0) for k in loads}
+        heavy_pe = final[(0, 0)]
+        others = [final[k] for k in loads if k != (0, 0)]
+        assert all(pe != heavy_pe for pe in others)
+
+    def test_excluded_pes_receive_nothing(self):
+        loads = {(0, i): 1.0 for i in range(8)}
+        assignment = {(0, i): i % 4 for i in range(8)}
+        moves = greedy_lb(loads, assignment, [0, 1])  # PEs 2,3 excluded
+        final = dict(assignment)
+        final.update(moves)
+        assert set(final.values()) <= {0, 1}
+
+    def test_empty_allowed_rejected(self):
+        with pytest.raises(CharmError):
+            greedy_lb({}, {}, [])
+
+    def test_deterministic(self):
+        loads = {(0, i): float((i * 13) % 5 + 1) for i in range(20)}
+        assignment = {(0, i): 0 for i in range(20)}
+        a = greedy_lb(loads, assignment, [0, 1, 2])
+        b = greedy_lb(loads, assignment, [0, 1, 2])
+        assert a == b
+
+
+class TestRefineLB:
+    def test_keeps_balanced_placement(self):
+        loads = {(0, i): 1.0 for i in range(8)}
+        assignment = {(0, i): i % 4 for i in range(8)}
+        moves = refine_lb(loads, assignment, [0, 1, 2, 3])
+        assert moves == {}  # already balanced: no migrations
+
+    def test_evacuates_disallowed_pes(self):
+        loads = {(0, i): 1.0 for i in range(8)}
+        assignment = {(0, i): i % 4 for i in range(8)}
+        moves = refine_lb(loads, assignment, [0, 1])
+        final = dict(assignment)
+        final.update(moves)
+        assert set(final.values()) <= {0, 1}
+
+    def test_shaves_overloaded_pe(self):
+        loads = {(0, i): 1.0 for i in range(6)}
+        assignment = {(0, i): 0 for i in range(6)}  # all on PE 0
+        moves = refine_lb(loads, assignment, [0, 1, 2])
+        final = dict(assignment)
+        final.update(moves)
+        per_pe = {}
+        for key, pe in final.items():
+            per_pe[pe] = per_pe.get(pe, 0.0) + loads[key]
+        assert max(per_pe.values()) <= 3.0  # down from 6.0
+
+    def test_fewer_moves_than_greedy(self):
+        loads = {(0, i): 1.0 for i in range(16)}
+        assignment = {(0, i): i % 4 for i in range(16)}
+        assignment[(0, 0)] = 1  # slight imbalance
+        refine_moves = refine_lb(loads, assignment, [0, 1, 2, 3])
+        greedy_moves = greedy_lb(loads, assignment, [0, 1, 2, 3])
+        assert len(refine_moves) <= len(greedy_moves)
+
+
+class TestRuntimeLB:
+    def test_load_balance_evens_out_hot_pe(self, engine, rts):
+        proxy = rts.create_array(Counter, range(16), mapping="block", kwargs={"cost": 0.01})
+        proxy.broadcast("ping")
+        settle(engine, rts)
+        result = rts.load_balance("greedy")
+        population = rts.stats()["population"]
+        assert max(population.values()) - min(population.values()) <= 1
+        assert result.cost_seconds > 0
+
+    def test_load_balance_requires_quiescence(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4))
+        proxy[0].ping()
+        with pytest.raises(CharmError, match="quiescence"):
+            rts.load_balance()
+
+    def test_exclude_pes_evacuates_them(self, engine, rts):
+        rts.create_array(Counter, range(16))
+        rts.load_balance("greedy", exclude_pes=[2, 3])
+        population = rts.stats()["population"]
+        assert population.get(2, 0) == 0
+        assert population.get(3, 0) == 0
+
+    def test_loads_reset_after_lb(self, engine, rts):
+        proxy = rts.create_array(Counter, range(4), kwargs={"cost": 0.1})
+        proxy.broadcast("ping")
+        settle(engine, rts)
+        rts.load_balance()
+        assert all(v <= 1e-6 for v in rts.chare_loads().values())
+
+    def test_unknown_strategy_rejected(self, engine, rts):
+        rts.create_array(Counter, range(4))
+        with pytest.raises(CharmError):
+            rts.load_balance("magic")

@@ -1,0 +1,182 @@
+"""Tests for reductions and the CCS control interface."""
+
+import pytest
+
+from repro.charm import CcsClient, CcsServer, CharmRuntime, Chare
+from repro.errors import CcsError, CcsTimeout, CharmError
+
+from tests.charm.conftest import Counter, settle
+
+
+class Summer(Chare):
+    def __init__(self, index):
+        super().__init__(index)
+        self.rounds = 0
+
+    def add(self, value):
+        self.contribute(value + self.index, "sum")
+        self.rounds += 1
+
+    def double_round(self, value):
+        # Contributes to two consecutive rounds from one message.
+        self.contribute(value, "sum")
+        self.contribute(value * 10, "sum")
+
+    def maxer(self):
+        self.contribute(float(self.index), "max")
+
+
+class TestReductions:
+    def run_main(self, engine, main):
+        results = []
+
+        def driver():
+            out = yield from main()
+            results.append(out)
+
+        engine.process(driver())
+        engine.run()
+        return results[0]
+
+    def test_sum_reduction(self, engine, rts):
+        proxy = rts.create_array(Summer, range(4))
+
+        def main():
+            proxy.broadcast("add", 1)
+            value = yield rts.next_reduction(proxy)
+            return value
+
+        # sum over (1 + index) for index in 0..3 = 4 + 6
+        assert self.run_main(engine, self.wrap(main)) == 10
+
+    def wrap(self, main):
+        return main
+
+    def test_max_reduction(self, engine, rts):
+        proxy = rts.create_array(Summer, range(5))
+
+        def main():
+            proxy.broadcast("maxer")
+            value = yield rts.next_reduction(proxy)
+            return value
+
+        assert self.run_main(engine, main) == 4.0
+
+    def test_sequenced_rounds(self, engine, rts):
+        proxy = rts.create_array(Summer, range(3))
+
+        def main():
+            proxy.broadcast("add", 0)
+            first = yield rts.next_reduction(proxy)
+            proxy.broadcast("add", 10)
+            second = yield rts.next_reduction(proxy)
+            return (first, second)
+
+        first, second = self.run_main(engine, main)
+        assert first == 0 + 1 + 2
+        assert second == 30 + 3
+
+    def test_run_ahead_contributions(self, engine, rts):
+        proxy = rts.create_array(Summer, range(3))
+
+        def main():
+            proxy.broadcast("double_round", 1)
+            first = yield rts.next_reduction(proxy)
+            second = yield rts.next_reduction(proxy)
+            return (first, second)
+
+        first, second = self.run_main(engine, main)
+        assert first == 3
+        assert second == 30
+
+    def test_unknown_reducer_rejected(self, engine, rts):
+        proxy = rts.create_array(Counter, range(2))
+        chare = rts.element(proxy.array_id, 0)
+        with pytest.raises(CharmError, match="unknown reducer"):
+            chare.contribute(1, "median")
+
+    def test_reduction_takes_tree_time(self, engine, rts):
+        proxy = rts.create_array(Summer, range(4))
+        times = []
+
+        def main():
+            proxy.broadcast("add", 0)
+            yield rts.next_reduction(proxy)
+            times.append(engine.now)
+
+        engine.process(main())
+        engine.run()
+        assert times[0] > 0.0
+
+
+class TestCcs:
+    @pytest.fixture
+    def server(self, engine):
+        return CcsServer(engine)
+
+    @pytest.fixture
+    def client(self, engine, server):
+        return CcsClient(engine, server)
+
+    def run_request(self, engine, client, tag, payload=None, timeout=None):
+        out = {}
+
+        def main():
+            try:
+                out["value"] = yield client.request(tag, payload, timeout=timeout)
+            except Exception as err:  # noqa: BLE001
+                out["error"] = err
+
+        engine.process(main())
+        engine.run()
+        return out
+
+    def test_request_reply_roundtrip(self, engine, server, client):
+        server.register("echo", lambda req: req.reply(req.payload))
+        out = self.run_request(engine, client, "echo", {"n": 16})
+        assert out["value"] == {"n": 16}
+
+    def test_unhandled_tag_rejected(self, engine, server, client):
+        out = self.run_request(engine, client, "nope")
+        assert isinstance(out["error"], CcsError)
+
+    def test_deferred_reply(self, engine, server, client):
+        held = []
+        server.register("slow", held.append)
+        out = {}
+
+        def main():
+            out["value"] = yield client.request("slow")
+            out["time"] = engine.now
+
+        engine.process(main())
+        engine.schedule(5.0, lambda: held[0].reply("late"))
+        engine.run()
+        assert out["value"] == "late"
+        assert out["time"] >= 5.0
+
+    def test_timeout_fires(self, engine, server, client):
+        server.register("never", lambda req: None)  # never replies
+        out = self.run_request(engine, client, "never", timeout=2.0)
+        assert isinstance(out["error"], CcsTimeout)
+
+    def test_reply_beats_timeout(self, engine, server, client):
+        server.register("fast", lambda req: req.reply("ok"))
+        out = self.run_request(engine, client, "fast", timeout=10.0)
+        assert out["value"] == "ok"
+
+    def test_reject_propagates(self, engine, server, client):
+        server.register("deny", lambda req: req.reject("not now"))
+        out = self.run_request(engine, client, "deny")
+        assert isinstance(out["error"], CcsError)
+        assert "not now" in str(out["error"])
+
+    def test_duplicate_tag_rejected(self, server):
+        server.register("x", lambda req: None)
+        with pytest.raises(CcsError):
+            server.register("x", lambda req: None)
+
+    def test_request_count(self, engine, server, client):
+        server.register("t", lambda req: req.reply())
+        self.run_request(engine, client, "t")
+        assert server.request_count == 1

@@ -1,0 +1,17 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+import pytest
+
+from repro.sim import Engine, Tracer
+
+
+@pytest.fixture
+def engine():
+    """A fresh simulation engine starting at t=0."""
+    return Engine()
+
+
+@pytest.fixture
+def tracer(engine):
+    """A tracer bound to the engine fixture."""
+    return Tracer(engine)

@@ -1,0 +1,47 @@
+"""Tests for the artifact-style CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_jobs_listing(self, capsys):
+        assert main(["jobs", "--seed", "5", "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "job-00" in out and "job-03" in out
+        assert "seed=5" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        for policy in ("elastic", "moldable", "min_replicas", "max_replicas"):
+            assert policy in out
+
+    def test_run_single_policy(self, capsys):
+        assert main(["run", "moldable", "--jobs", "4", "--gap", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "pod_utilization_moldable" in out
+        assert "util=" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "Figure 4a" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "Figure 5a" in capsys.readouterr().out
+
+    def test_fig7_with_trials(self, capsys):
+        assert main(["fig7", "--trials", "2"]) == 0
+        assert "Figure 7a" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fcfs"])
+
+    def test_parser_has_all_artifact_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("jobs", "run", "simulate", "table1"):
+            assert cmd in text

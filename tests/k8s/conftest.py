@@ -1,0 +1,37 @@
+"""Fixtures for Kubernetes substrate tests."""
+
+import pytest
+
+from repro.k8s import (
+    KubeCluster,
+    Pod,
+    PodSpec,
+    Resources,
+    make_eks_cluster,
+    make_eks_nodes,
+)
+from repro.sim import Engine
+
+
+@pytest.fixture
+def cluster(engine):
+    """The paper's 4-node, 64-vCPU EKS cluster."""
+    return make_eks_cluster(engine)
+
+
+@pytest.fixture
+def small_cluster(engine):
+    """A 2-node, 8-vCPU cluster for tight-capacity tests."""
+    nodes = make_eks_nodes(count=2, instance=Resources.parse(cpu="4", memory="8Gi"))
+    return KubeCluster(engine, nodes)
+
+
+def make_pod(name, cpu="1", memory="256Mi", **kwargs):
+    """Build a pod with the given resource request."""
+    spec = PodSpec(request=Resources.parse(cpu=cpu, memory=memory), **kwargs)
+    return Pod(name, spec)
+
+
+@pytest.fixture
+def pod_factory():
+    return make_pod

@@ -1,0 +1,143 @@
+"""Tests for the API server: CRUD, versions, watches, graceful deletion."""
+
+import pytest
+
+from repro.errors import AlreadyExistsError, NotFoundError
+from repro.k8s import ApiServer, ConfigMap, LabelSelector, Pod, PodSpec
+from repro.k8s.watch import EventType
+
+
+@pytest.fixture
+def api(engine):
+    return ApiServer(engine)
+
+
+def make_pod(name, labels=None):
+    return Pod(name, PodSpec(), labels=labels)
+
+
+class TestCrud:
+    def test_create_and_get(self, api):
+        pod = api.create(make_pod("p1"))
+        assert api.get("Pod", "p1") is pod
+        assert pod.meta.creation_time == 0.0
+        assert pod.meta.resource_version > 0
+
+    def test_create_duplicate_rejected(self, api):
+        api.create(make_pod("p1"))
+        with pytest.raises(AlreadyExistsError):
+            api.create(make_pod("p1"))
+
+    def test_get_missing_raises(self, api):
+        with pytest.raises(NotFoundError):
+            api.get("Pod", "ghost")
+        assert api.try_get("Pod", "ghost") is None
+
+    def test_list_sorted_and_filtered(self, api):
+        api.create(make_pod("b", labels={"job": "x"}))
+        api.create(make_pod("a", labels={"job": "y"}))
+        api.create(make_pod("c", labels={"job": "x"}))
+        names = [p.name for p in api.list("Pod")]
+        assert names == ["a", "b", "c"]
+        sel = LabelSelector.of(job="x")
+        assert [p.name for p in api.list("Pod", selector=sel)] == ["b", "c"]
+
+    def test_list_kind_isolation(self, api):
+        api.create(make_pod("p"))
+        api.create(ConfigMap("cm"))
+        assert len(api.list("Pod")) == 1
+        assert len(api.list("ConfigMap")) == 1
+
+    def test_update_bumps_resource_version(self, api):
+        pod = api.create(make_pod("p"))
+        rv = pod.meta.resource_version
+        api.update(pod)
+        assert pod.meta.resource_version > rv
+
+    def test_update_missing_raises(self, api):
+        with pytest.raises(NotFoundError):
+            api.update(make_pod("ghost"))
+
+    def test_patch_applies_mutation(self, api):
+        pod = api.create(make_pod("p"))
+        api.patch(pod, lambda p: p.meta.labels.update(role="worker"))
+        assert api.get("Pod", "p").meta.labels["role"] == "worker"
+
+    def test_delete_unbound_pod_is_immediate(self, api):
+        pod = api.create(make_pod("p"))
+        api.delete(pod)
+        assert not api.exists("Pod", "p")
+
+    def test_delete_missing_raises(self, api):
+        with pytest.raises(NotFoundError):
+            api.delete(make_pod("ghost"))
+
+    def test_object_count(self, api):
+        api.create(make_pod("p1"))
+        api.create(make_pod("p2"))
+        api.create(ConfigMap("cm"))
+        assert api.object_count() == 3
+        assert api.object_count("Pod") == 2
+
+
+class TestWatch:
+    def test_watch_receives_lifecycle_events(self, engine, api):
+        events = []
+        api.watch(lambda e: events.append((e.type, e.object.name)), kind="Pod")
+        pod = api.create(make_pod("p"))
+        api.update(pod)
+        api.delete(pod)
+        engine.run()
+        assert events == [
+            (EventType.ADDED, "p"),
+            (EventType.MODIFIED, "p"),
+            (EventType.DELETED, "p"),
+        ]
+
+    def test_watch_replay_of_existing_objects(self, engine, api):
+        api.create(make_pod("old"))
+        engine.run()
+        events = []
+        api.watch(lambda e: events.append((e.type, e.object.name)), kind="Pod")
+        engine.run()
+        assert events == [(EventType.ADDED, "old")]
+
+    def test_watch_without_replay(self, engine, api):
+        api.create(make_pod("old"))
+        engine.run()
+        events = []
+        api.watch(lambda e: events.append(e), kind="Pod", replay=False)
+        engine.run()
+        assert events == []
+
+    def test_watch_kind_filter(self, engine, api):
+        events = []
+        api.watch(lambda e: events.append(e.object.kind), kind="ConfigMap")
+        api.create(make_pod("p"))
+        api.create(ConfigMap("cm"))
+        engine.run()
+        assert events == ["ConfigMap"]
+
+    def test_watch_delivery_is_asynchronous(self, engine, api):
+        seen = []
+        api.watch(lambda e: seen.append(e), kind="Pod")
+        api.create(make_pod("p"))
+        assert seen == []  # nothing delivered synchronously
+        engine.run()
+        assert len(seen) == 1
+
+    def test_stopped_watch_gets_nothing(self, engine, api):
+        seen = []
+        watch = api.watch(lambda e: seen.append(e), kind="Pod")
+        watch.stop()
+        api.create(make_pod("p"))
+        engine.run()
+        assert seen == []
+
+    def test_namespace_filter(self, engine, api):
+        events = []
+        api.watch(lambda e: events.append(e.object.name), kind="Pod", namespace="other")
+        api.create(Pod("p-default", PodSpec()))
+        api.create(Pod("p-other", PodSpec(), namespace="other"))
+        engine.run()
+        assert events == ["p-other"]

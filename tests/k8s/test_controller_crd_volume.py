@@ -1,0 +1,143 @@
+"""Tests for the controller base, CRDs, ConfigMaps, and volumes."""
+
+import pytest
+
+from repro.errors import InvalidObjectError
+from repro.k8s import (
+    ConfigMap,
+    Controller,
+    CustomResourceDefinition,
+    Pod,
+    PodSpec,
+    shm_volume,
+)
+from repro.k8s.apiserver import ApiServer
+from repro.k8s.meta import ApiObject, ObjectMeta
+from repro.k8s.volume import DEFAULT_SHM_BYTES, EmptyDirVolume, shm_capacity_bytes
+
+
+@pytest.fixture
+def api(engine):
+    return ApiServer(engine)
+
+
+class RecordingController(Controller):
+    watch_kind = "Pod"
+
+    def __init__(self, *args, fail_times=0, **kwargs):
+        self.seen = []
+        self.fail_times = fail_times
+        super().__init__(*args, **kwargs)
+
+    def reconcile(self, key):
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise RuntimeError("transient")
+        self.seen.append(key)
+
+
+class TestController:
+    def test_reconcile_called_for_each_object(self, engine, api):
+        ctrl = RecordingController(engine, api)
+        api.create(Pod("a", PodSpec()))
+        api.create(Pod("b", PodSpec()))
+        engine.run(until=5.0)
+        assert ("Pod", "default", "a") in ctrl.seen
+        assert ("Pod", "default", "b") in ctrl.seen
+
+    def test_workqueue_dedupes_bursts(self, engine, api):
+        ctrl = RecordingController(engine, api, reconcile_latency=1.0)
+        pod = api.create(Pod("a", PodSpec()))
+        api.update(pod)
+        api.update(pod)
+        engine.run(until=0.5)  # events delivered; reconcile not yet run
+        engine.run(until=10.0)
+        assert ctrl.seen.count(("Pod", "default", "a")) == 1
+
+    def test_transient_errors_retried(self, engine, api):
+        ctrl = RecordingController(engine, api, fail_times=2, retry_backoff=1.0)
+        api.create(Pod("a", PodSpec()))
+        engine.run(until=10.0)
+        assert ctrl.seen == [("Pod", "default", "a")]
+        assert ctrl.reconcile_count == 3
+
+    def test_permanent_errors_surface(self, engine, api):
+        RecordingController(engine, api, fail_times=100, retry_backoff=0.1, max_retries=2)
+        api.create(Pod("a", PodSpec()))
+        with pytest.raises(RuntimeError, match="transient"):
+            engine.run(until=10.0)
+
+    def test_requires_watch_kind(self, engine, api):
+        class Bad(Controller):
+            watch_kind = None
+
+            def reconcile(self, key):
+                pass
+
+        with pytest.raises(TypeError):
+            Bad(engine, api)
+
+
+class FakeJob(ApiObject):
+    kind = "FakeJob"
+
+    def __init__(self, name, replicas):
+        super().__init__(ObjectMeta(name=name))
+        self.replicas = replicas
+
+
+class TestCrd:
+    def test_register_and_create_custom(self, engine, cluster):
+        crd = CustomResourceDefinition(kind="FakeJob")
+        cluster.crds.register(crd)
+        job = cluster.crds.create_custom(FakeJob("j", replicas=2))
+        assert cluster.api.get("FakeJob", "j") is job
+
+    def test_unregistered_kind_rejected(self, engine, cluster):
+        with pytest.raises(InvalidObjectError):
+            cluster.crds.create_custom(FakeJob("j", replicas=2))
+
+    def test_validator_runs(self, engine, cluster):
+        def check(obj):
+            if obj.replicas < 1:
+                raise InvalidObjectError("replicas must be >= 1")
+
+        cluster.crds.register(CustomResourceDefinition(kind="FakeJob", validator=check))
+        with pytest.raises(InvalidObjectError):
+            cluster.crds.create_custom(FakeJob("bad", replicas=0))
+
+    def test_builtin_kind_cannot_be_crd(self, engine, cluster):
+        with pytest.raises(InvalidObjectError):
+            cluster.crds.register(CustomResourceDefinition(kind="Pod"))
+
+    def test_duplicate_registration_rejected(self, engine, cluster):
+        cluster.crds.register(CustomResourceDefinition(kind="FakeJob"))
+        with pytest.raises(InvalidObjectError):
+            cluster.crds.register(CustomResourceDefinition(kind="FakeJob"))
+
+    def test_api_version_string(self):
+        crd = CustomResourceDefinition(kind="FakeJob", group="kubeflow.org", version="v2beta1")
+        assert crd.api_version == "kubeflow.org/v2beta1"
+
+
+class TestConfigMapAndVolumes:
+    def test_configmap_lines(self, api):
+        cm = ConfigMap("nodelist", data={"hosts": "w0\nw1\n\nw2\n"})
+        assert cm.get_lines("hosts") == ["w0", "w1", "w2"]
+        assert cm.get_lines("missing") == []
+
+    def test_default_shm_is_64mib(self):
+        pod = Pod("p", PodSpec())
+        assert pod.shm_bytes() == DEFAULT_SHM_BYTES == 64 * 1024**2
+
+    def test_shm_volume_overrides_default(self):
+        pod = Pod("p", PodSpec(volumes=[shm_volume("1Gi")]))
+        assert pod.shm_bytes() == 1024**3
+
+    def test_unbounded_shm_volume(self):
+        vol = EmptyDirVolume.memory("shm", "/dev/shm", None)
+        assert shm_capacity_bytes([vol]) == 2**63
+
+    def test_disk_emptydir_does_not_change_shm(self):
+        vol = EmptyDirVolume(name="scratch", mount_path="/dev/shm")  # not memory-backed
+        assert shm_capacity_bytes([vol]) == DEFAULT_SHM_BYTES

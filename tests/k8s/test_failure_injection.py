@@ -1,0 +1,77 @@
+"""Cluster-level failure injection: pod kills, node failure, cordoning."""
+
+import pytest
+
+from repro.k8s import PodPhase
+from tests.k8s.conftest import make_pod
+
+
+class TestPodFailure:
+    def test_fail_pod_sets_phase_and_frees_resources(self, engine, cluster):
+        pod = cluster.api.create(make_pod("p", cpu="4"))
+        engine.run(until=10.0)
+        assert cluster.allocated_cpus == 4.0
+        cluster.fail_pod(pod)
+        engine.run(until=12.0)
+        assert pod.phase == PodPhase.FAILED
+        assert cluster.allocated_cpus == 0.0
+
+    def test_failed_slot_is_reusable(self, engine, small_cluster):
+        first = small_cluster.api.create(make_pod("first", cpu="4"))
+        small_cluster.api.create(make_pod("second", cpu="4"))
+        blocked = make_pod("blocked", cpu="4")
+        small_cluster.api.create(blocked)
+        engine.run(until=10.0)
+        assert not blocked.is_bound
+        small_cluster.fail_pod(first)
+        engine.run(until=20.0)
+        assert blocked.is_bound and blocked.is_running
+
+
+class TestNodeFailure:
+    def test_fail_node_kills_everything_on_it(self, engine, cluster):
+        pods = [cluster.api.create(make_pod(f"p{i}", cpu="2")) for i in range(8)]
+        engine.run(until=10.0)
+        target = pods[0].node_name
+        on_node = [p for p in pods if p.node_name == target]
+        killed = cluster.fail_node(target)
+        engine.run(until=15.0)
+        assert killed == len(on_node)
+        for pod in on_node:
+            assert pod.phase == PodPhase.FAILED
+        survivors = [p for p in pods if p.node_name != target]
+        for pod in survivors:
+            assert pod.is_running
+
+    def test_cordoned_node_receives_no_pods(self, engine, cluster):
+        cluster.fail_node("node-1")
+        for i in range(8):
+            cluster.api.create(make_pod(f"p{i}", cpu="2"))
+        engine.run(until=10.0)
+        nodes_used = {p.node_name for p in cluster.pods()}
+        assert "node-1" not in nodes_used
+
+    def test_uncordon_restores_scheduling(self, engine, cluster):
+        cluster.fail_node("node-2")
+        pinned = make_pod("pinned", node_selector={"kubernetes.io/hostname": "node-2"})
+        cluster.api.create(pinned)
+        engine.run(until=10.0)
+        assert not pinned.is_bound
+        cluster.uncordon_node("node-2")
+        engine.run(until=20.0)
+        assert pinned.is_bound and pinned.node_name == "node-2"
+
+    def test_failing_empty_node_is_safe(self, engine, cluster):
+        assert cluster.fail_node("node-3") == 0
+        assert cluster.nodes["node-3"].unschedulable
+
+    def test_capacity_shrinks_while_cordoned(self, engine, cluster):
+        # 4 nodes x 16 cpus; cordon one and try to place 52 single-cpu pods:
+        # only 48 fit on the remaining three nodes.
+        cluster.fail_node("node-0")
+        for i in range(52):
+            cluster.api.create(make_pod(f"p{i}", cpu="1"))
+        engine.run(until=30.0)
+        running = [p for p in cluster.pods() if p.is_bound]
+        assert len(running) == 48
+        assert len(cluster.scheduler.pending_pods) == 4

@@ -1,0 +1,94 @@
+"""Tests for resource quantities, metadata, and label selection."""
+
+import pytest
+
+from repro.errors import InvalidObjectError
+from repro.k8s import LabelSelector, ObjectMeta, Pod, PodSpec, Resources
+from repro.k8s.meta import ApiObject
+
+
+class TestResources:
+    def test_parse(self):
+        r = Resources.parse(cpu="250m", memory="64Mi")
+        assert r.cpu == 0.25
+        assert r.memory == 64 * 1024**2
+
+    def test_add_sub(self):
+        a = Resources(2.0, 100)
+        b = Resources(0.5, 40)
+        assert a + b == Resources(2.5, 140)
+        assert a - b == Resources(1.5, 60)
+
+    def test_underflow_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            Resources(1.0, 0) - Resources(2.0, 0)
+
+    def test_float_jitter_clamped(self):
+        third = Resources(1.0 / 3.0, 0)
+        total = Resources(1.0, 0)
+        remainder = total - third - third - third
+        assert remainder.cpu == pytest.approx(0.0, abs=1e-9)
+
+    def test_fits_within(self):
+        assert Resources(1, 10).fits_within(Resources(1, 10))
+        assert Resources(1, 10).fits_within(Resources(2, 20))
+        assert not Resources(3, 10).fits_within(Resources(2, 20))
+        assert not Resources(1, 30).fits_within(Resources(2, 20))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            Resources(-1, 0)
+
+    def test_scaled(self):
+        assert Resources(2.0, 100).scaled(0.5) == Resources(1.0, 50)
+
+    def test_describe(self):
+        assert "cpu=2" in Resources(2.0, 0).describe()
+
+
+class TestMeta:
+    def test_uids_unique(self):
+        a = ObjectMeta(name="a")
+        b = ObjectMeta(name="b")
+        assert a.uid != b.uid
+
+    def test_validate_rejects_empty_name(self):
+        with pytest.raises(InvalidObjectError):
+            ObjectMeta(name="").validate()
+
+    def test_key_includes_kind(self):
+        pod = Pod("p", PodSpec())
+        assert pod.key == ("Pod", "default", "p")
+
+    def test_owned_by(self):
+        owner = ApiObject(ObjectMeta(name="job-1"))
+        pod = Pod("w", PodSpec())
+        pod.owned_by(owner)
+        assert pod.meta.owner.name == "job-1"
+        assert pod.meta.owner.uid == owner.meta.uid
+
+
+class TestLabelSelector:
+    def test_empty_selector_matches_everything(self):
+        assert LabelSelector.of().matches({"any": "thing"})
+        assert LabelSelector.of().matches({})
+
+    def test_match_requires_all_labels(self):
+        sel = LabelSelector.of(app="charm", job="j1")
+        assert sel.matches({"app": "charm", "job": "j1", "extra": "x"})
+        assert not sel.matches({"app": "charm"})
+        assert not sel.matches({"app": "charm", "job": "other"})
+
+    def test_select_filters_objects(self):
+        pods = [
+            Pod("a", PodSpec(), labels={"job": "j1"}),
+            Pod("b", PodSpec(), labels={"job": "j2"}),
+            Pod("c", PodSpec(), labels={"job": "j1"}),
+        ]
+        sel = LabelSelector.of(job="j1")
+        assert [p.name for p in sel.select(pods)] == ["a", "c"]
+
+    def test_from_dict_and_hashable(self):
+        sel = LabelSelector.from_dict({"b": "2", "a": "1"})
+        assert sel == LabelSelector.of(a="1", b="2")
+        assert hash(sel) == hash(LabelSelector.of(a="1", b="2"))

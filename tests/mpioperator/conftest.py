@@ -1,0 +1,78 @@
+"""Fixtures for operator tests: a tiny deterministic test application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import CharmApplication
+from repro.charm import Chare
+from repro.k8s import make_eks_cluster
+from repro.mpioperator import (
+    AppSpec,
+    CharmJob,
+    CharmJobController,
+    CharmJobSpec,
+    WorkerSpec,
+)
+
+
+class StateChare(Chare):
+    """Carries a small numpy payload so checkpoints are non-trivial."""
+
+    def __init__(self, index):
+        super().__init__(index)
+        self.data = np.full(32, float(index))
+        self.ticks = 0
+
+    def tick(self, dt):
+        self.ticks += 1
+        self.data += 1.0
+        self.charge(dt)
+
+
+class BlockApp(CharmApplication):
+    """Test app: each iteration broadcasts one tick of ``step_time``."""
+
+    def __init__(self, job, step_time=0.05, chares_per_pe=2, **kwargs):
+        total = job.spec.app.params.get("steps", 20)
+        super().__init__(name=f"blockapp-{job.name}", total_steps=total, **kwargs)
+        self.step_time = step_time
+        self.num_chares = max(1, chares_per_pe * job.spec.desired_replicas)
+        self.proxy = None
+
+    def setup(self, rts):
+        self.proxy = rts.create_array(StateChare, range(self.num_chares))
+
+    def step(self, rts, index):
+        # Every chare charges the full dt: chares on one PE serialize, so a
+        # step's wall time is dt * ceil(chares/PEs) — slower on fewer PEs,
+        # like a real compute-bound app.
+        self.proxy.broadcast("tick", self.step_time)
+        yield rts.wait_quiescence()
+
+
+@pytest.fixture
+def cluster(engine):
+    return make_eks_cluster(engine, node_count=2)
+
+
+@pytest.fixture
+def operator(engine, cluster):
+    return CharmJobController(engine, cluster, app_factory=BlockApp)
+
+
+def make_job(name="job-a", min_replicas=2, max_replicas=8, replicas=None,
+             priority=1, steps=20, shm="1Gi"):
+    spec = CharmJobSpec(
+        min_replicas=min_replicas,
+        max_replicas=max_replicas,
+        replicas=replicas,
+        priority=priority,
+        worker=WorkerSpec.parse(cpu="1", memory="1Gi", shm=shm),
+        app=AppSpec(name="blockapp", params={"steps": steps}),
+    )
+    return CharmJob(name, spec)
+
+
+@pytest.fixture
+def job_factory():
+    return make_job

@@ -1,0 +1,182 @@
+"""Fault-tolerance tests (§3.2.2): disk checkpointing, pod/node failure,
+and operator-driven restart-from-checkpoint."""
+
+import numpy as np
+import pytest
+
+from repro.charm import CharmRuntime
+from repro.charm.faulttolerance import DiskCheckpointStore
+from repro.errors import CheckpointError
+from repro.k8s import make_eks_cluster
+from repro.mpioperator import CharmJobController, JobPhase
+from repro.sim import Engine
+from tests.mpioperator.conftest import BlockApp, StateChare, make_job
+
+
+class TestDiskCheckpointStore:
+    def test_write_read_round_trip(self, engine):
+        store = DiskCheckpointStore()
+        rts = CharmRuntime(engine, num_pes=2)
+        rts.create_array(StateChare, range(4))
+        checkpoint = store.write(rts, "job-x", completed_steps=7)
+        assert store.has("job-x")
+        assert store.read("job-x").completed_steps == 7
+        assert checkpoint.io_seconds > 0
+
+    def test_restore_overwrites_live_state(self, engine):
+        store = DiskCheckpointStore()
+        rts = CharmRuntime(engine, num_pes=2)
+        proxy = rts.create_array(StateChare, range(4))
+        originals = {c.index: c.data.copy() for c in rts.elements(proxy.array_id)}
+        store.write(rts, "job-x", completed_steps=0)
+        # Mutate live state, then restore the snapshot.
+        for chare in rts.elements(proxy.array_id):
+            chare.data += 99.0
+        restored = store.restore_into(rts, store.read("job-x"))
+        assert restored == 4
+        for chare in rts.elements(proxy.array_id):
+            assert np.array_equal(chare.data, originals[chare.index])
+
+    def test_missing_checkpoint_raises(self):
+        with pytest.raises(CheckpointError):
+            DiskCheckpointStore().read("ghost")
+
+    def test_latest_checkpoint_wins(self, engine):
+        store = DiskCheckpointStore()
+        rts = CharmRuntime(engine, num_pes=2)
+        rts.create_array(StateChare, range(2))
+        store.write(rts, "j", completed_steps=5)
+        store.write(rts, "j", completed_steps=10)
+        assert store.read("j").completed_steps == 10
+
+    def test_drop(self, engine):
+        store = DiskCheckpointStore()
+        rts = CharmRuntime(engine, num_pes=1)
+        rts.create_array(StateChare, range(1))
+        store.write(rts, "j", completed_steps=1)
+        store.drop("j")
+        assert not store.has("j")
+
+
+class FTBlockApp(BlockApp):
+    """BlockApp with periodic disk checkpoints."""
+
+    def __init__(self, job, store, **kwargs):
+        super().__init__(job, **kwargs)
+        self.ft_store = store
+        self.disk_checkpoint_every = 50
+
+
+class TestNodeFailureAndRestart:
+    @pytest.fixture
+    def ft_setup(self, engine):
+        cluster = make_eks_cluster(engine, node_count=2)
+        store = DiskCheckpointStore()
+        operator = CharmJobController(
+            engine, cluster,
+            app_factory=lambda job: FTBlockApp(job, store),
+            restart_failed_jobs=True,
+        )
+        return cluster, operator, store
+
+    def test_pod_failure_fails_the_job_then_restarts(self, engine, ft_setup):
+        cluster, operator, store = ft_setup
+        job = make_job(replicas=4, steps=2000)
+        operator.submit(job)
+        engine.run(until=40.0)  # running; past first checkpoint (50 steps @0.1s... not yet)
+        runner = operator.runner_for(job)
+        assert job.status.phase == JobPhase.RUNNING
+        # Let it pass a disk checkpoint (50 steps x ~0.1 s/step = ~5 s + start).
+        engine.run(until=60.0)
+        assert store.has(runner.app.name)  # checkpoints are keyed by app name
+        assert store.writes > 0
+        progress_at_kill = runner.app.completed_steps
+        victim = next(p for p in cluster.pods() if p.spec.role == "worker")
+        cluster.fail_pod(victim)
+        engine.run(until=90.0)
+        # The job failed and was relaunched by the operator.
+        new_runner = operator.runner_for(job)
+        assert new_runner is not runner
+        engine.run(until=500.0)
+        assert job.status.phase == JobPhase.COMPLETED
+        app = new_runner.app
+        # It restored from the checkpoint rather than starting over...
+        assert app.restored_from_step is not None
+        assert app.restored_from_step >= 50
+        assert app.restored_from_step <= progress_at_kill
+        assert job.meta.annotations["repro.dev/restart-count"] == "1"
+
+    def test_restart_without_checkpoint_starts_from_scratch(self, engine):
+        cluster = make_eks_cluster(engine, node_count=2)
+        operator = CharmJobController(
+            engine, cluster,
+            app_factory=BlockApp,  # no ft_store: no checkpoints
+            restart_failed_jobs=True,
+        )
+        job = make_job(replicas=4, steps=400)
+        operator.submit(job)
+        engine.run(until=30.0)
+        victim = next(p for p in cluster.pods() if p.spec.role == "worker")
+        cluster.fail_pod(victim)
+        engine.run(until=200.0)
+        assert job.status.phase == JobPhase.COMPLETED
+        app = operator.runner_for(job).app
+        assert app.restored_from_step is None  # full re-run
+        assert app.completed_steps == 400
+
+    def test_restart_budget_exhausted(self, engine):
+        cluster = make_eks_cluster(engine, node_count=2)
+        operator = CharmJobController(
+            engine, cluster, app_factory=BlockApp,
+            restart_failed_jobs=True, max_restarts=1,
+        )
+        job = make_job(replicas=2, steps=100000)
+        operator.submit(job)
+        engine.run(until=30.0)
+
+        def kill_one():
+            workers = [p for p in cluster.pods()
+                       if p.spec.role == "worker" and p.is_running]
+            if workers:
+                cluster.fail_pod(workers[0])
+
+        kill_one()
+        engine.run(until=120.0)  # restarted once
+        kill_one()
+        engine.run(until=300.0)
+        assert job.status.phase == JobPhase.FAILED  # budget exhausted
+        assert [p for p in cluster.pods()] == []  # torn down
+
+    def test_node_failure_kills_and_cordons(self, engine):
+        cluster = make_eks_cluster(engine, node_count=2)
+        operator = CharmJobController(engine, cluster, app_factory=BlockApp)
+        job = make_job(replicas=8, steps=100000)
+        operator.submit(job)
+        engine.run(until=30.0)
+        target = next(iter(cluster.nodes))
+        killed = cluster.fail_node(target)
+        assert killed > 0
+        engine.run(until=60.0)
+        assert job.status.phase == JobPhase.FAILED
+        # Cordoned node accepts nothing new.
+        from tests.k8s.conftest import make_pod
+
+        probe = make_pod("probe", node_selector={"kubernetes.io/hostname": target})
+        cluster.api.create(probe)
+        engine.run(until=70.0)
+        assert not probe.is_bound
+        cluster.uncordon_node(target)
+        engine.run(until=90.0)
+        assert probe.is_bound
+
+    def test_failed_job_frees_capacity(self, engine):
+        cluster = make_eks_cluster(engine, node_count=2)
+        operator = CharmJobController(engine, cluster, app_factory=BlockApp)
+        job = make_job(replicas=8, steps=100000)
+        operator.submit(job)
+        engine.run(until=30.0)
+        victim = next(p for p in cluster.pods() if p.spec.role == "worker")
+        cluster.fail_pod(victim)
+        engine.run(until=120.0)
+        assert job.status.phase == JobPhase.FAILED
+        assert cluster.allocated_cpus == 0.0

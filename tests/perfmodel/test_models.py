@@ -1,0 +1,191 @@
+"""Tests for piecewise models, scaling curves, and overhead models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError
+from repro.perfmodel import (
+    JOB_SIZE_CLASSES,
+    JacobiScalingModel,
+    LeanMDScalingModel,
+    PiecewiseLinear,
+    RescaleOverheadModel,
+    sample_function,
+    size_class,
+    step_time_model,
+    verify_shape_claims,
+)
+
+
+class TestPiecewise:
+    def test_interpolates_between_points(self):
+        pw = PiecewiseLinear.from_points([(0, 0), (10, 100)])
+        assert pw(5) == 50.0
+        assert pw(2.5) == 25.0
+
+    def test_clamps_outside_domain(self):
+        pw = PiecewiseLinear.from_points([(2, 20), (4, 40)])
+        assert pw(0) == 20.0
+        assert pw(100) == 40.0
+
+    def test_hits_sample_points_exactly(self):
+        points = [(1, 3.0), (2, 1.5), (8, 0.9)]
+        pw = PiecewiseLinear.from_points(points)
+        for x, y in points:
+            assert pw(x) == y
+
+    def test_unsorted_input_accepted(self):
+        pw = PiecewiseLinear.from_points([(4, 40), (2, 20)])
+        assert pw(3) == 30.0
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(CalibrationError):
+            PiecewiseLinear.from_points([(1, 1), (1, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            PiecewiseLinear.from_points([])
+
+    def test_sample_function(self):
+        pw = sample_function(lambda x: x * x, [1, 2, 3])
+        assert pw(2) == 4.0
+        assert pw(2.5) == pytest.approx(6.5)  # linear between 4 and 9
+
+    @given(st.floats(min_value=1.0, max_value=64.0))
+    def test_interpolation_bounded_by_neighbors(self, x):
+        pw = PiecewiseLinear.from_points([(1, 10.0), (8, 2.0), (64, 1.0)])
+        assert 1.0 <= pw(x) <= 10.0
+
+    def test_table_round_trip(self):
+        points = [(1.0, 3.0), (2.0, 1.5)]
+        assert PiecewiseLinear.from_points(points).table() == points
+
+
+class TestScalingModels:
+    def test_jacobi_time_decreases_with_replicas_large_grid(self):
+        model = JacobiScalingModel(grid=16_384)
+        times = [model.time_per_step(p) for p in (4, 8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_jacobi_small_grid_flattens(self):
+        model = JacobiScalingModel(grid=512)
+        speedup = model.time_per_step(2) / model.time_per_step(8)
+        assert speedup < 2.0  # far from the ideal 4x
+
+    def test_jacobi_efficiency_declines(self):
+        model = JacobiScalingModel(grid=8192)
+        assert model.parallel_efficiency(8) > model.parallel_efficiency(64)
+
+    def test_jacobi_data_bytes(self):
+        assert JacobiScalingModel(grid=32_768).data_bytes == 32_768**2 * 4
+
+    def test_jacobi_invalid_replicas(self):
+        with pytest.raises(ValueError):
+            JacobiScalingModel(grid=512).time_per_step(0)
+
+    def test_leanmd_scales_well(self):
+        model = LeanMDScalingModel(cells=(4, 4, 4))
+        assert model.time_per_step(4) / model.time_per_step(64) > 6.0
+
+    def test_leanmd_cells_quantize_scaling(self):
+        model = LeanMDScalingModel(cells=(4, 4, 4))  # 64 cells
+        # 33..63 PEs all leave some PE with 2 cells: same pace as 33.
+        assert model.time_per_step(33) == model.time_per_step(63)
+        assert model.time_per_step(64) < model.time_per_step(63)
+
+    def test_leanmd_bigger_grids_slower(self):
+        small = LeanMDScalingModel(cells=(4, 4, 4))
+        big = LeanMDScalingModel(cells=(4, 8, 8))
+        assert big.time_per_step(16) > small.time_per_step(16)
+
+
+class TestOverheadModel:
+    @pytest.fixture
+    def model(self):
+        return RescaleOverheadModel()
+
+    def test_stage_keys(self, model):
+        stages = model.stages(32, 16, 10**9)
+        assert set(stages) == {
+            "load_balance", "checkpoint", "restart", "restore", "total",
+        }
+        assert stages["total"] == pytest.approx(
+            sum(v for k, v in stages.items() if k != "total")
+        )
+
+    def test_noop_is_free(self, model):
+        assert model.total(16, 16, 10**9) == 0.0
+
+    def test_restart_grows_with_new_replicas(self, model):
+        assert (
+            model.stages(4, 8, 10**8)["restart"]
+            < model.stages(32, 64, 10**8)["restart"]
+        )
+
+    def test_checkpoint_falls_with_replicas(self, model):
+        data = size_class("large").data_bytes
+        assert (
+            model.shrink_to_half(4, data)["checkpoint"]
+            > model.shrink_to_half(32, data)["checkpoint"]
+        )
+
+    def test_invalid_replicas(self, model):
+        with pytest.raises(ValueError):
+            model.stages(0, 4, 100)
+
+    def test_matches_emergent_charm_costs(self, model):
+        """The analytic model must track the runtime's emergent rescale
+        costs (same protocol, same comm layer) within a modest factor."""
+        from repro.charm import CharmRuntime, perform_rescale
+        from repro.apps.modeled import ModelChare
+        from repro.sim import Engine
+
+        data_bytes = 64 * 1024 * 1024
+        engine = Engine()
+        rts = CharmRuntime(engine, num_pes=8)
+        rts.create_array(ModelChare, range(16), args=(data_bytes // 16,))
+        out = []
+
+        def main():
+            report = yield from perform_rescale(rts, 4)
+            out.append(report)
+
+        engine.process(main())
+        engine.run()
+        emergent = out[0].row()
+        analytic = model.stages(8, 4, data_bytes)
+        for stage in ("checkpoint", "restart", "restore"):
+            ratio = analytic[stage] / emergent[stage]
+            assert 0.5 < ratio < 2.0, f"{stage}: analytic {analytic[stage]} vs emergent {emergent[stage]}"
+
+
+class TestCalibration:
+    def test_all_shape_claims_hold(self):
+        claims = verify_shape_claims()
+        assert len(claims) >= 15
+
+    def test_size_classes_match_paper(self):
+        # §4.3.1 verbatim values.
+        expect = {
+            "small": (512, 40_000, 2, 8),
+            "medium": (2048, 40_000, 4, 16),
+            "large": (8192, 40_000, 8, 32),
+            "xlarge": (16_384, 10_000, 16, 64),
+        }
+        for name, (grid, steps, mn, mx) in expect.items():
+            cls = JOB_SIZE_CLASSES[name]
+            assert (cls.grid, cls.timesteps, cls.min_replicas, cls.max_replicas) == (
+                grid, steps, mn, mx,
+            )
+
+    def test_step_time_model_interpolates_analytic(self):
+        cls = size_class("large")
+        pw = step_time_model(cls)
+        for p in (8, 16, 32):
+            assert pw(p) == pytest.approx(cls.model.time_per_step(p))
+        # Between samples it's linear, not the analytic curve — but close.
+        assert pw(24) == pytest.approx(cls.model.time_per_step(24), rel=0.3)
+
+    def test_unknown_size_class(self):
+        with pytest.raises(KeyError):
+            size_class("huge")

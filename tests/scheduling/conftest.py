@@ -1,0 +1,31 @@
+"""Fixtures for scheduling-policy tests."""
+
+import pytest
+
+from repro.scheduling import ElasticPolicyEngine, JobRequest, PolicyConfig
+
+
+def req(name, min_r=2, max_r=8, priority=1, **params):
+    return JobRequest(
+        name=name, min_replicas=min_r, max_replicas=max_r, priority=priority,
+        params=params,
+    )
+
+
+@pytest.fixture
+def request_factory():
+    return req
+
+
+@pytest.fixture
+def engine64():
+    """A 64-slot policy engine with the paper's T_rescale_gap = 180 s."""
+    return ElasticPolicyEngine(64, PolicyConfig(rescale_gap=180.0))
+
+
+def start_jobs(policy, jobs, now=0.0):
+    """Submit several jobs at the same instant; return their decisions."""
+    out = []
+    for request in jobs:
+        out.extend(policy.on_submit(request, now))
+    return out

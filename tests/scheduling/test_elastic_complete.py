@@ -1,0 +1,173 @@
+"""Tests for the Figure-3 algorithm: redistributing freed slots."""
+
+import pytest
+
+from repro.errors import JobStateError
+from repro.scheduling import (
+    ElasticPolicyEngine,
+    ExpandJob,
+    JobState,
+    PolicyConfig,
+    StartJob,
+)
+from tests.scheduling.conftest import req
+
+
+def fill_cluster(policy, now=0.0):
+    """Two running jobs filling 64 slots: high(40) + low(24)."""
+    policy.on_submit(req("high", 8, 40, priority=5), now)
+    policy.on_submit(req("low", 8, 24, priority=1), now)
+    assert policy.free_slots == 0
+
+
+class TestCompleteJob:
+    def test_completion_frees_slots(self, engine64):
+        engine64.on_submit(req("a", 2, 32), 0.0)
+        engine64.on_complete("a", 100.0)
+        assert engine64.free_slots == 64
+        assert engine64.job("a").state == JobState.COMPLETED
+
+    def test_freed_slots_expand_highest_priority_first(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("high", 8, 64, priority=5), 0.0)   # starts at 64
+        # Make room: shrink happens on next submits; build a concrete state:
+        policy2 = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy2.on_submit(req("high", 8, 40, priority=5), 0.0)  # 40
+        policy2.on_submit(req("mid", 8, 40, priority=3), 0.0)   # 24 (capped)
+        policy2.on_submit(req("low", 8, 8, priority=1), 10.0)   # queues: full
+        decisions = policy2.on_complete("high", 500.0)
+        # Freed 40 workers: 'mid' expands to its max first (16 more),
+        # then 'low' starts with 8; 16 left over return to the pool.
+        expand = [d for d in decisions if isinstance(d, ExpandJob)]
+        start = [d for d in decisions if isinstance(d, StartJob)]
+        assert expand[0].job.name == "mid" and expand[0].to_replicas == 40
+        assert start[0].job.name == "low" and start[0].replicas == 8
+        assert policy2.free_slots == 16
+
+    def test_rescale_gap_blocks_expansion(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=180.0))
+        fill_cluster(policy)
+        decisions = policy.on_complete("high", 10.0)  # low started 10s ago
+        assert decisions == []  # low is within the gap: nothing to do
+        assert policy.job("low").replicas == 24
+        assert policy.free_slots == 40 + 0
+
+    def test_queued_jobs_start_despite_infinite_gap(self):
+        # Moldable = elastic with infinite gap; queued jobs have
+        # lastAction = -inf so they still start on completions (§4.3.2).
+        import math
+
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=math.inf))
+        policy.on_submit(req("a", 8, 64, priority=1), 0.0)
+        (d,) = policy.on_submit(req("b", 8, 16, priority=2), 1.0)
+        assert type(d).__name__ == "EnqueueJob"
+        decisions = policy.on_complete("a", 100.0)
+        assert [type(x).__name__ for x in decisions] == ["StartJob"]
+        assert decisions[0].job.name == "b"
+        assert decisions[0].replicas == 16
+
+    def test_running_jobs_never_expand_under_infinite_gap(self):
+        import math
+
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=math.inf))
+        policy.on_submit(req("a", 8, 40, priority=3), 0.0)   # 40
+        policy.on_submit(req("b", 8, 40, priority=1), 0.0)   # 24
+        policy.on_complete("a", 1000.0)
+        assert policy.job("b").replicas == 24  # moldable: never rescaled
+
+    def test_completion_starts_queued_in_priority_order(self):
+        policy = ElasticPolicyEngine(32, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("running", 8, 32, priority=3), 0.0)
+        policy.on_submit(req("q-low", 16, 16, priority=1), 1.0)
+        policy.on_submit(req("q-high", 16, 16, priority=4), 2.0)
+        assert len(policy.queue) == 2
+        decisions = policy.on_complete("running", 100.0)
+        starts = [d for d in decisions if isinstance(d, StartJob)]
+        assert [s.job.name for s in starts] == ["q-high", "q-low"]
+
+    def test_literal_budget_redistributes_only_freed_workers(self):
+        # Fig 3 verbatim distributes only the freed budget: with 44 slots
+        # already free and only 4 freed now, a queued 48-min job is stuck.
+        policy = ElasticPolicyEngine(
+            64, PolicyConfig(rescale_gap=0.0, literal_completion_budget=True)
+        )
+        policy.on_submit(req("a", 4, 4, priority=5), 0.0)        # 4 slots
+        policy.on_submit(req("b", 16, 16, priority=3), 0.0)      # 16
+        policy.on_submit(req("big-q", 48, 48, priority=1), 1.0)  # queues (44 free)
+        decisions = policy.on_complete("a", 100.0)
+        assert decisions == []
+        assert policy.job("big-q").state == JobState.QUEUED
+
+    def test_default_budget_avoids_queue_deadlock(self):
+        # Same scenario with the default accumulated-free budget: the
+        # queued job starts (48 <= 44 free + 4 freed).
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("a", 4, 4, priority=5), 0.0)
+        policy.on_submit(req("b", 16, 16, priority=3), 0.0)
+        policy.on_submit(req("big-q", 48, 48, priority=1), 1.0)
+        decisions = policy.on_complete("a", 100.0)
+        starts = [d for d in decisions if isinstance(d, StartJob)]
+        assert [s.job.name for s in starts] == ["big-q"]
+        assert policy.job("big-q").state == JobState.RUNNING
+
+    def test_equal_priority_completion_ties_broken_by_submit_time(self):
+        policy = ElasticPolicyEngine(32, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("running", 8, 32, priority=2), 0.0)
+        policy.on_submit(req("q-late", 16, 16, priority=2), 5.0)
+        policy.on_submit(req("q-early", 16, 16, priority=2), 3.0)
+        decisions = policy.on_complete("running", 100.0)
+        starts = [d for d in decisions if isinstance(d, StartJob)]
+        assert [s.job.name for s in starts] == ["q-early", "q-late"]
+
+    def test_partial_expansion_to_budget(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("a", 4, 10, priority=2), 0.0)   # 10
+        policy.on_submit(req("b", 8, 64, priority=5), 0.0)   # 54
+        decisions = policy.on_complete("a", 100.0)
+        (expand,) = decisions
+        assert isinstance(expand, ExpandJob)
+        assert expand.to_replicas == 64  # 54 + min(10, 64-54) = 64
+        assert policy.free_slots == 0
+
+    def test_completing_unknown_job_rejected(self, engine64):
+        with pytest.raises(JobStateError):
+            engine64.on_complete("ghost", 0.0)
+
+    def test_completing_queued_job_rejected(self, engine64):
+        engine64.on_submit(req("a", 8, 64), 0.0)
+        engine64.on_submit(req("big", 32, 64), 0.0)
+        assert engine64.job("big").state == JobState.QUEUED
+        with pytest.raises(JobStateError):
+            engine64.on_complete("big", 1.0)
+
+    def test_double_completion_rejected(self, engine64):
+        engine64.on_submit(req("a", 2, 8), 0.0)
+        engine64.on_complete("a", 10.0)
+        with pytest.raises(JobStateError):
+            engine64.on_complete("a", 20.0)
+
+    def test_launcher_slot_accounted_on_queued_start(self):
+        # Deviation (documented): starting a queued job consumes its
+        # launcher slot; Fig 3's arithmetic would over-commit here.
+        policy = ElasticPolicyEngine(
+            20, PolicyConfig(rescale_gap=0.0, launcher_slots=1)
+        )
+        policy.on_submit(req("a", 8, 19, priority=2), 0.0)   # 19 + 1 launcher
+        policy.on_submit(req("q", 19, 19, priority=5), 1.0)  # queues
+        decisions = policy.on_complete("a", 100.0)
+        # Freed budget = 20; q needs 19 workers + 1 launcher = 20. OK.
+        (start,) = decisions
+        assert isinstance(start, StartJob) and start.replicas == 19
+        assert policy.free_slots == 0
+
+    def test_rescale_failed_resync(self, engine64):
+        engine64.on_submit(req("a", 2, 32), 0.0)
+        engine64.job("a").replicas = 16  # pretend the policy shrank it...
+        engine64.on_rescale_failed("a", 32)  # ...but the operator reverted
+        assert engine64.job("a").replicas == 32
+
+    def test_rescale_failed_on_queued_job_rejected(self, engine64):
+        engine64.on_submit(req("a", 8, 64), 0.0)
+        engine64.on_submit(req("big", 40, 64), 0.0)
+        with pytest.raises(JobStateError):
+            engine64.on_rescale_failed("big", 10)

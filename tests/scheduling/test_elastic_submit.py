@@ -1,0 +1,180 @@
+"""Tests for the Figure-2 algorithm: scheduling a newly submitted job."""
+
+import pytest
+
+from repro.errors import JobStateError
+from repro.scheduling import (
+    ElasticPolicyEngine,
+    EnqueueJob,
+    JobState,
+    PolicyConfig,
+    ShrinkJob,
+    StartJob,
+)
+from tests.scheduling.conftest import req
+
+
+class TestFreeSlotStart:
+    def test_job_starts_at_max_when_cluster_empty(self, engine64):
+        (d,) = engine64.on_submit(req("a", 2, 32), now=0.0)
+        assert isinstance(d, StartJob) and d.replicas == 32
+        assert engine64.free_slots == 32
+
+    def test_job_capped_by_free_slots(self, engine64):
+        engine64.on_submit(req("a", 2, 40), 0.0)
+        (d,) = engine64.on_submit(req("b", 2, 40), 0.0)
+        assert isinstance(d, StartJob) and d.replicas == 24
+
+    def test_launcher_slot_reservation(self):
+        # With launcher_slots=1 the Fig-2 `freeSlots - 1` applies literally.
+        policy = ElasticPolicyEngine(64, PolicyConfig(launcher_slots=1))
+        (d,) = policy.on_submit(req("a", 2, 64), 0.0)
+        assert d.replicas == 63
+        assert policy.free_slots == 0  # 63 workers + 1 launcher
+
+    def test_job_enqueued_when_below_min_and_nothing_shrinkable(self, engine64):
+        engine64.on_submit(req("a", 2, 64), 0.0)  # fills the cluster at 64
+        (d,) = engine64.on_submit(req("b", 8, 16), 0.0)
+        assert isinstance(d, EnqueueJob)
+        assert engine64.job("b").state == JobState.QUEUED
+
+    def test_duplicate_submission_rejected(self, engine64):
+        engine64.on_submit(req("a"), 0.0)
+        with pytest.raises(JobStateError):
+            engine64.on_submit(req("a"), 1.0)
+
+    def test_out_of_order_allocation(self, engine64):
+        """A small low-priority job may start while a big high-priority job
+        queues — the paper's stated improvement (b) over prior FCFS work."""
+        engine64.on_submit(req("big-running", 60, 60, priority=3), 0.0)
+        # Queue a high-priority job too big for the 4 remaining slots whose
+        # min cannot be met by shrinking (min == max for the running job).
+        (d1,) = engine64.on_submit(req("big-queued", 8, 32, priority=5), 10.0)
+        assert isinstance(d1, EnqueueJob)
+        # A later, smaller, lower-priority job fills the gap.
+        (d2,) = engine64.on_submit(req("small-late", 2, 4, priority=1), 20.0)
+        assert isinstance(d2, StartJob) and d2.replicas == 4
+
+
+class TestShrinkToFit:
+    def test_shrinks_lower_priority_job_for_high_priority_arrival(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("low-a", 8, 32, priority=1), 0.0)  # 32
+        policy.on_submit(req("low-b", 8, 32, priority=1), 0.0)  # 32: cluster full
+        decisions = policy.on_submit(req("high", 16, 32, priority=5), 100.0)
+        kinds = [type(d).__name__ for d in decisions]
+        assert "ShrinkJob" in kinds
+        assert isinstance(decisions[-1], StartJob)
+        assert decisions[-1].replicas >= 16
+        assert policy.free_slots >= 0
+
+    def test_rescale_gap_blocks_recent_jobs(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=180.0))
+        policy.on_submit(req("low-a", 8, 32, priority=1), 0.0)
+        policy.on_submit(req("low-b", 8, 32, priority=1), 0.0)
+        # Only 100s later: both running jobs are within the gap -> enqueue.
+        decisions = policy.on_submit(req("high", 16, 32, priority=5), 100.0)
+        assert [type(d).__name__ for d in decisions] == ["EnqueueJob"]
+        # After the gap expires the same arrival shrinks and starts.
+        decisions = policy.on_submit(req("high2", 16, 32, priority=5), 300.0)
+        assert isinstance(decisions[-1], StartJob)
+
+    def test_equal_priority_jobs_are_shrinkable(self):
+        # Quirk (documented): strict `>` comparison means equal-priority
+        # running jobs can be shrunk for a newcomer of the same priority.
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("a", 8, 32, priority=3), 0.0)
+        policy.on_submit(req("b", 8, 32, priority=3), 0.0)
+        decisions = policy.on_submit(req("c", 16, 32, priority=3), 10.0)
+        assert any(isinstance(d, ShrinkJob) for d in decisions)
+
+    def test_higher_priority_jobs_never_shrunk(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("high-a", 8, 32, priority=5), 0.0)
+        policy.on_submit(req("high-b", 8, 32, priority=5), 0.0)
+        decisions = policy.on_submit(req("low", 16, 32, priority=1), 10.0)
+        assert [type(d).__name__ for d in decisions] == ["EnqueueJob"]
+        assert policy.job("high-a").replicas == 32
+        assert policy.job("high-b").replicas == 32
+
+    def test_top_running_job_never_shrunk(self):
+        # Quirk (documented): the scan stops at index > 0, so the single
+        # highest-priority running job is never a shrink victim.
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("only", 8, 64, priority=1), 0.0)  # runs at 64
+        decisions = policy.on_submit(req("new", 8, 16, priority=5), 10.0)
+        assert [type(d).__name__ for d in decisions] == ["EnqueueJob"]
+        assert policy.job("only").replicas == 64
+
+    def test_shrink_respects_victim_min_replicas(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("top", 4, 4, priority=5), 0.0)    # 4, protected
+        policy.on_submit(req("a", 24, 40, priority=1), 0.0)    # 40
+        policy.on_submit(req("b", 10, 20, priority=1), 0.0)    # 20; cluster full
+        decisions = policy.on_submit(req("c", 16, 16, priority=3), 10.0)
+        shrinks = {d.job.name: d for d in decisions if isinstance(d, ShrinkJob)}
+        # b gives up what it can but never drops below its minimum of 10;
+        # a covers the remainder.
+        assert shrinks["b"].to_replicas == 10
+        assert shrinks["a"].to_replicas == 34
+        assert policy.job("b").replicas == 10
+        assert isinstance(decisions[-1], StartJob)
+        assert decisions[-1].replicas == 16
+
+    def test_shrink_frees_toward_max_not_just_min(self):
+        # The real pass frees toward the newcomer's max (maxToFree loop),
+        # not only its minimum: b is shrunk all the way to its min even
+        # though freeing less would already satisfy c's minimum of 8.
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("a", 8, 40, priority=2), 0.0)  # 40
+        policy.on_submit(req("b", 8, 24, priority=1), 0.0)  # 24
+        decisions = policy.on_submit(req("c", 8, 32, priority=3), 10.0)
+        shrink = [d for d in decisions if isinstance(d, ShrinkJob)]
+        start = [d for d in decisions if isinstance(d, StartJob)]
+        assert shrink[0].job.name == "b" and shrink[0].to_replicas == 8
+        assert start[0].replicas == 16
+
+    def test_failed_shrink_falls_back_to_enqueue(self):
+        policy = ElasticPolicyEngine(
+            64,
+            PolicyConfig(rescale_gap=0.0, shrink_filter=lambda job, to: False),
+        )
+        policy.on_submit(req("a", 8, 40, priority=1), 0.0)
+        policy.on_submit(req("b", 8, 24, priority=1), 0.0)
+        decisions = policy.on_submit(req("c", 30, 32, priority=5), 10.0)
+        # Dry run says feasible, but every shrink attempt fails -> enqueue.
+        assert [type(d).__name__ for d in decisions] == ["EnqueueJob"]
+        assert policy.job("a").replicas == 40
+        assert policy.job("b").replicas == 24
+
+    def test_multiple_victims_shrunk_lowest_priority_first(self):
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("p3", 8, 28, priority=3), 0.0)
+        policy.on_submit(req("p2", 8, 20, priority=2), 0.0)
+        policy.on_submit(req("p1", 8, 16, priority=1), 0.0)
+        decisions = policy.on_submit(req("new", 20, 20, priority=4), 10.0)
+        shrinks = [d for d in decisions if isinstance(d, ShrinkJob)]
+        assert [s.job.name for s in shrinks] == ["p1", "p2"]
+        assert isinstance(decisions[-1], StartJob)
+        assert decisions[-1].replicas == 20
+
+    def test_protected_top_job_can_force_enqueue(self):
+        # Even when total shrinkable capacity would suffice, the top running
+        # job's share is untouchable; the arrival queues (faithful quirk).
+        policy = ElasticPolicyEngine(64, PolicyConfig(rescale_gap=0.0))
+        policy.on_submit(req("p3", 8, 28, priority=3), 0.0)
+        policy.on_submit(req("p2", 8, 20, priority=2), 0.0)
+        policy.on_submit(req("p1", 8, 16, priority=1), 0.0)
+        decisions = policy.on_submit(req("new", 24, 24, priority=4), 10.0)
+        assert [type(d).__name__ for d in decisions] == ["EnqueueJob"]
+        # Dry run means no job actually shrank.
+        assert policy.job("p1").replicas == 16
+        assert policy.job("p2").replicas == 20
+
+    def test_free_slots_never_negative(self):
+        policy = ElasticPolicyEngine(16, PolicyConfig(rescale_gap=0.0))
+        for i, (mn, mx, p) in enumerate(
+            [(2, 8, 1), (4, 12, 3), (2, 16, 2), (8, 8, 5), (1, 4, 4)]
+        ):
+            policy.on_submit(req(f"j{i}", mn, mx, priority=p), float(i))
+            assert policy.free_slots >= 0

@@ -1,0 +1,126 @@
+"""Unit tests for one-shot events and combinators."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import AllOf, AnyOf, Engine, Event
+
+
+def test_event_starts_pending(engine):
+    ev = engine.event()
+    assert not ev.triggered
+    with pytest.raises(SimError):
+        _ = ev.value
+
+
+def test_succeed_sets_value(engine):
+    ev = engine.event()
+    ev.succeed(42)
+    assert ev.triggered and ev.ok
+    assert ev.value == 42
+
+
+def test_double_trigger_rejected(engine):
+    ev = engine.event()
+    ev.succeed(1)
+    with pytest.raises(SimError):
+        ev.succeed(2)
+    with pytest.raises(SimError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_fail_requires_exception(engine):
+    ev = engine.event()
+    with pytest.raises(SimError):
+        ev.fail("not an exception")
+
+
+def test_failed_event_value_raises(engine):
+    ev = engine.event()
+    err = RuntimeError("boom")
+    ev.fail(err)
+    assert ev.triggered and not ev.ok
+    assert ev.exception is err
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_callback_runs_after_trigger(engine):
+    ev = engine.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    engine.schedule(2.0, ev.succeed, "hello")
+    engine.run()
+    assert seen == ["hello"]
+
+
+def test_callback_added_after_trigger_still_runs(engine):
+    ev = engine.event()
+    ev.succeed("late")
+    engine.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    engine.run()
+    assert seen == ["late"]
+
+
+def test_callbacks_never_run_synchronously(engine):
+    ev = engine.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(True))
+    ev.succeed(None)
+    assert seen == []  # not yet: dispatch happens via the event loop
+    engine.run()
+    assert seen == [True]
+
+
+def test_anyof_fires_with_first_winner(engine):
+    slow = engine.timeout(10.0, "slow")
+    fast = engine.timeout(2.0, "fast")
+    race = AnyOf(engine, [slow, fast])
+    engine.run()
+    assert race.value == (1, "fast")
+
+
+def test_anyof_propagates_failure(engine):
+    ev1 = engine.event()
+    ev2 = engine.event()
+    race = AnyOf(engine, [ev1, ev2])
+    engine.schedule(1.0, ev2.fail, RuntimeError("boom"))
+    engine.run()
+    assert race.exception is not None
+
+
+def test_anyof_requires_events(engine):
+    with pytest.raises(SimError):
+        AnyOf(engine, [])
+
+
+def test_allof_collects_values_in_order(engine):
+    evs = [engine.timeout(3.0, "a"), engine.timeout(1.0, "b")]
+    combo = AllOf(engine, evs)
+    engine.run()
+    assert combo.value == ["a", "b"]
+    assert engine.now == 3.0
+
+
+def test_allof_empty_succeeds_immediately(engine):
+    combo = AllOf(engine, [])
+    assert combo.triggered
+    assert combo.value == []
+
+
+def test_allof_fails_on_first_child_failure(engine):
+    good = engine.timeout(5.0)
+    bad = engine.event()
+    combo = AllOf(engine, [good, bad])
+    engine.schedule(1.0, bad.fail, ValueError("nope"))
+    engine.run()
+    assert isinstance(combo.exception, ValueError)
+
+
+def test_event_repr_shows_state(engine):
+    ev = Event(engine, name="ready")
+    assert "pending" in repr(ev)
+    ev.succeed(3)
+    assert "ok" in repr(ev)

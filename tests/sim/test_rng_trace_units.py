@@ -1,0 +1,137 @@
+"""Tests for RNG streams, tracing, and unit parsing."""
+
+import pytest
+
+from repro.errors import InvalidObjectError
+from repro.sim import Engine, RngRegistry, Tracer, stream
+from repro.sim.trace import NullTracer
+from repro.units import (
+    format_bytes,
+    format_duration,
+    parse_bytes,
+    parse_cpu,
+    parse_duration,
+)
+
+
+class TestRng:
+    def test_same_seed_same_name_same_stream(self):
+        a = stream(42, "workload").random(5)
+        b = stream(42, "workload").random(5)
+        assert (a == b).all()
+
+    def test_different_names_are_independent(self):
+        a = stream(42, "workload").random(5)
+        b = stream(42, "jitter").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = stream(1, "x").random(5)
+        b = stream(2, "x").random(5)
+        assert not (a == b).all()
+
+    def test_registry_caches_streams(self):
+        reg = RngRegistry(7)
+        g1 = reg.get("a")
+        g2 = reg.get("a")
+        assert g1 is g2
+
+    def test_registry_fork_is_deterministic(self):
+        r1 = RngRegistry(7).fork("trial", 3)
+        r2 = RngRegistry(7).fork("trial", 3)
+        assert r1.get("x").random() == r2.get("x").random()
+
+    def test_registry_forks_differ_by_index(self):
+        base = RngRegistry(7)
+        assert (
+            base.fork("trial", 0).get("x").random()
+            != base.fork("trial", 1).get("x").random()
+        )
+
+
+class TestTracer:
+    def test_emit_records_time_and_fields(self, engine, tracer):
+        engine.schedule(3.0, tracer.emit, "charm.rescale", "shrink")
+        engine.run()
+        assert len(tracer.records) == 1
+        rec = tracer.records[0]
+        assert rec.time == 3.0 and rec.category == "charm.rescale"
+
+    def test_category_filtering(self, engine):
+        tr = Tracer(engine, categories=["charm"])
+        tr.emit("charm.rescale", "kept")
+        tr.emit("k8s.pod", "dropped")
+        assert [r.message for r in tr.records] == ["kept"]
+
+    def test_select_by_prefix(self, engine, tracer):
+        tracer.emit("a.b", "one")
+        tracer.emit("a.b.c", "two")
+        tracer.emit("a.bx", "three")
+        assert [r.message for r in tracer.select("a.b")] == ["one", "two"]
+
+    def test_series_extraction(self, engine, tracer):
+        tracer.emit("job.replicas", "r", count=4)
+        engine.schedule(2.0, tracer.emit, "job.replicas", "r")
+        engine.run()
+        tracer.emit("job.replicas", "r2", count=8)
+        assert tracer.series("job.replicas", "count") == [(0.0, 4), (2.0, 8)]
+
+    def test_null_tracer_drops_everything(self):
+        nt = NullTracer()
+        nt.emit("anything", "msg", x=1)
+        assert nt.records == []
+
+    def test_format_is_readable(self, engine, tracer):
+        tracer.emit("cat", "msg", job="j1")
+        line = tracer.records[0].format()
+        assert "cat" in line and "job=j1" in line
+
+
+class TestUnits:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("16", 16.0), ("250m", 0.25), (4, 4.0), (2.5, 2.5), ("1.5", 1.5)],
+    )
+    def test_parse_cpu(self, raw, expected):
+        assert parse_cpu(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("64Mi", 64 * 1024**2),
+            ("1Gi", 1024**3),
+            ("1G", 10**9),
+            ("512", 512),
+            (1024, 1024),
+        ],
+    )
+    def test_parse_bytes(self, raw, expected):
+        assert parse_bytes(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("180s", 180.0), ("3m", 180.0), ("1h", 3600.0), ("250ms", 0.25), (90, 90.0)],
+    )
+    def test_parse_duration(self, raw, expected):
+        assert parse_duration(raw) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "-5", "12Q"])
+    def test_malformed_cpu_rejected(self, bad):
+        with pytest.raises(InvalidObjectError):
+            parse_cpu(bad)
+
+    def test_negative_quantities_rejected(self):
+        with pytest.raises(InvalidObjectError):
+            parse_cpu(-1)
+        with pytest.raises(InvalidObjectError):
+            parse_bytes(-1)
+        with pytest.raises(InvalidObjectError):
+            parse_duration(-1)
+
+    def test_format_bytes_round_trip(self):
+        assert format_bytes(64 * 1024**2) == "64.0Mi"
+        assert format_bytes(512) == "512"
+
+    def test_format_duration(self):
+        assert format_duration(180.0) == "180.0s"
+        assert format_duration(0.0015) == "1.50ms"
