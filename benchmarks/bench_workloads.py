@@ -1,0 +1,106 @@
+"""Workload-subsystem benchmarks: scale and sweep fan-out.
+
+Bounds what the trace/synthetic workload layer can handle: SWF parse
+throughput, a 1000-job workload through every policy in the simulator's
+streaming mode, and the parallel sweep runner against its serial twin.
+
+Environment knobs: ``REPRO_TRIALS`` (sweep trials per cell, default 100)
+and ``REPRO_WORKERS`` (pool size; unset = serial, 0 = all cores).
+"""
+
+import io
+
+from benchmarks.conftest import once, trials_from_env
+from repro.schedsim import ScheduleSimulator, format_policy_table, sweep_submission_gap
+from repro.scheduling import make_policy
+from repro.workloads import (
+    HeavyTailedMix,
+    PoissonArrivals,
+    SWFTrace,
+    SyntheticWorkload,
+    parse_swf_lines,
+)
+
+POLICIES = ("elastic", "moldable", "min_replicas", "max_replicas")
+
+
+def _synthetic_swf(n: int = 5_000) -> str:
+    """Render a synthetic trace as SWF text (one line per job)."""
+    lines = ["; Version: 2.2", "; Computer: bench"]
+    t = 0.0
+    for i in range(n):
+        t += 7.0 + (i % 13)
+        procs = 1 << (i % 7)
+        run = 600 + (i * 37) % 7200
+        lines.append(
+            f"{i + 1} {t:.0f} 0 {run} {procs} -1 -1 {procs} {run * 2} "
+            f"-1 1 {i % 19} 1 1 {i % 5} -1 -1 -1"
+        )
+    return "\n".join(lines)
+
+
+def test_swf_parse_throughput(benchmark):
+    """Parse a 5000-job SWF trace (header, records, field typing)."""
+    text = _synthetic_swf()
+
+    def parse():
+        return parse_swf_lines(io.StringIO(text))
+
+    result = benchmark(parse)
+    assert len(result.jobs) == 5_000
+    assert result.skipped_lines == 0
+
+
+def test_swf_trace_through_simulator(benchmark, save_result):
+    """500 SWF-derived jobs through the elastic policy, streaming mode."""
+    parsed = parse_swf_lines(io.StringIO(_synthetic_swf(500)))
+
+    def run():
+        trace = SWFTrace(parsed, time_scale=0.2)
+        simulator = ScheduleSimulator(make_policy("elastic"), total_slots=256)
+        return simulator.run(trace.submissions(), retain="metrics")
+
+    result = once(benchmark, run)
+    assert result.metrics.job_count == 500
+    save_result("workloads_swf_elastic", result.metrics.describe())
+
+
+def test_1000_job_heavy_tail_all_policies(benchmark, save_result):
+    """The acceptance-scale run: 1000 heavy-tailed jobs, four policies."""
+
+    def run():
+        rows = []
+        for policy in POLICIES:
+            source = SyntheticWorkload(
+                1_000, PoissonArrivals(0.1), HeavyTailedMix(), seed=11
+            )
+            simulator = ScheduleSimulator(make_policy(policy), total_slots=256)
+            rows.append(simulator.run(source.submissions(), retain="metrics"))
+        return rows
+
+    rows = once(benchmark, run)
+    assert all(r.metrics.job_count == 1_000 for r in rows)
+    save_result(
+        "workloads_1000_jobs",
+        "\n".join(r.metrics.describe() for r in rows),
+    )
+
+
+def test_parallel_sweep(benchmark, save_result):
+    """The Figure-7 grid through the process-pool sweep runner.
+
+    ``workers=2`` (not ``None``) so the pool is exercised even on boxes
+    that report a single core; raise ``REPRO_WORKERS`` has no effect
+    here by design — the point is the fan-out path, not peak speed.
+    """
+    trials = trials_from_env(default=100)
+
+    def run():
+        return sweep_submission_gap(trials=trials, workers=2)
+
+    result = once(benchmark, run)
+    stats = {policy: result.stats[policy][0] for policy in result.policies()}
+    save_result(
+        "workloads_parallel_sweep",
+        format_policy_table(stats, title=f"sweep cell gap=0s ({trials} trials)"),
+    )

@@ -6,8 +6,9 @@ provides the equivalents against the simulated cluster::
 
     python -m repro jobs [--seed N] [--gap S]        # generate_jobs.py
     python -m repro run <policy> [--seed N] [--gap S]  # submit + track + plot
-    python -m repro simulate [--trials N]            # artifact A2's run.py
+    python -m repro simulate [--trials N] [--workers N]  # artifact A2's run.py
     python -m repro fig4|fig5|fig6|fig7|fig8|fig9|table1
+    python -m repro workloads list|show|run ...      # trace/synthetic scenarios
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .errors import ReproError
 from .schedsim import WorkloadSpec, generate_workload
 
 __all__ = ["main"]
@@ -58,7 +60,8 @@ def _cmd_simulate(args) -> int:
     from .schedsim import compare_policies, format_policy_table
 
     stats = compare_policies(
-        submission_gap=args.gap, rescale_gap=args.rescale_gap, trials=args.trials
+        submission_gap=args.gap, rescale_gap=args.rescale_gap, trials=args.trials,
+        workers=args.workers,
     )
     print(format_policy_table(
         stats,
@@ -66,6 +69,111 @@ def _cmd_simulate(args) -> int:
               f"T={args.rescale_gap}s)",
     ))
     return 0
+
+
+WORKLOADS_HELP = """\
+Workload sources (the `repro workloads` subsystem):
+
+  paper     the §4.3.1 draw: fixed-gap arrivals, uniform size/priority mix
+  poisson   memoryless arrivals at rate 1/gap, uniform mix
+  diurnal   day/night-modulated Poisson arrivals, uniform mix
+  bursty    campaign-style bursts separated by idle stretches
+  heavy     Poisson arrivals, heavy-tailed size/duration mix
+  swf       a Standard Workload Format trace file (--trace PATH)
+
+Examples:
+
+  python -m repro workloads list
+  python -m repro workloads show --source poisson --jobs 40 --gap 60 --seed 7
+  python -m repro workloads run --source heavy --jobs 1000 --gap 10 \\
+      --policy elastic --slots 256 --retain metrics
+  python -m repro workloads run --source swf --trace cluster.swf \\
+      --max-jobs 500 --time-scale 0.1 --policy all --workers 4
+"""
+
+
+def _cmd_workloads(args) -> int:
+    """Inspect and run trace-driven / synthetic workload scenarios."""
+    from .workloads import make_source, materialize
+
+    if args.action == "list":
+        print(WORKLOADS_HELP)
+        return 0
+
+    # One parameter dict serves the parent's source and the pool workers'
+    # rebuilds, so the two can never drift apart.
+    source_args = dict(
+        kind=args.source, jobs=args.jobs, seed=args.seed, gap=args.gap,
+        rate=args.rate, trace=args.trace, max_jobs=args.max_jobs,
+        time_scale=args.time_scale,
+    )
+    source = make_source(**source_args)
+    if args.action == "show":
+        print(f"# {source.name}")
+        print(f"{'name':>12} {'t_submit':>10} {'size':>7} {'prio':>4} "
+              f"{'min':>4} {'max':>4} {'steps':>8}")
+        for sub in source.submissions():
+            r = sub.request
+            print(
+                f"{r.name:>12} {sub.time:>10.0f} {sub.size.name:>7} "
+                f"{r.priority:>4} {r.min_replicas:>4} {r.max_replicas:>4} "
+                f"{r.params['timesteps']:>8}"
+            )
+        return 0
+
+    # action == "run": drive the simulator with the source.
+    from .schedsim import POLICY_ORDER
+    from .workloads.parallel import parallel_map, resolve_workers
+
+    policies = POLICY_ORDER if args.policy == "all" else (args.policy,)
+    print(f"# {source.name}: {len(source)} jobs, {args.slots} slots, "
+          f"T={args.rescale_gap}s, retain={args.retain}")
+    if resolve_workers(args.workers) > 1 and len(policies) > 1:
+        # Workers rebuild the (deterministic) source from its scalar
+        # parameters rather than unpickling the whole submission list
+        # once per policy.
+        tasks = [
+            (source_args, name, args.rescale_gap, args.slots, args.retain)
+            for name in policies
+        ]
+        rows = parallel_map(_run_workload_policy, tasks, workers=args.workers)
+    elif len(policies) == 1:
+        # Single policy: feed the source lazily so retain=metrics stays
+        # O(running jobs) even for huge workloads.
+        rows = [
+            _simulate_workload(source.submissions(), policies[0],
+                               args.rescale_gap, args.slots, args.retain)
+        ]
+    else:
+        submissions = materialize(source)
+        rows = [
+            _simulate_workload(submissions, name, args.rescale_gap,
+                               args.slots, args.retain)
+            for name in policies
+        ]
+    for metrics in rows:
+        print(metrics.describe())
+    return 0
+
+
+def _simulate_workload(submissions, policy_name, rescale_gap, slots, retain):
+    from .schedsim import ScheduleSimulator
+    from .scheduling import make_policy
+
+    simulator = ScheduleSimulator(
+        make_policy(policy_name, rescale_gap=rescale_gap), total_slots=slots
+    )
+    return simulator.run(submissions, retain=retain).metrics
+
+
+def _run_workload_policy(task):
+    """One policy's run, rebuilt from source parameters (picklable)."""
+    from .workloads import make_source
+
+    source_args, policy_name, rescale_gap, slots, retain = task
+    source = make_source(**source_args)
+    return _simulate_workload(source.submissions(), policy_name, rescale_gap,
+                              slots, retain)
 
 
 def _cmd_figure(args) -> int:
@@ -86,7 +194,7 @@ def _cmd_figure(args) -> int:
         from .experiments.fig78 import render_sweep_figure, run_fig7, run_fig8
 
         runner = run_fig7 if name == "fig7" else run_fig8
-        result = runner(trials=args.trials)
+        result = runner(trials=args.trials, workers=args.workers)
         print(render_sweep_figure(result, f"Figure {name[-1]}"))
     elif name == "fig9":
         from .experiments import render_fig9, run_fig9
@@ -128,11 +236,49 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trials", type=int, default=100)
     simulate.add_argument("--gap", type=float, default=90.0)
     simulate.add_argument("--rescale-gap", type=float, default=180.0)
+    simulate.add_argument("--workers", type=int, default=None,
+                          help="process-pool size for the trial grid "
+                               "(default: serial)")
     simulate.set_defaults(fn=_cmd_simulate)
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="inspect/run trace-driven and synthetic workload scenarios",
+        description=WORKLOADS_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    workloads.add_argument("action", choices=("list", "show", "run"))
+    workloads.add_argument("--source", default="paper",
+                           help="paper|poisson|diurnal|bursty|heavy|swf")
+    workloads.add_argument("--jobs", type=int, default=16)
+    workloads.add_argument("--seed", type=int, default=0)
+    workloads.add_argument("--gap", type=float, default=90.0,
+                           help="mean inter-arrival time (s)")
+    workloads.add_argument("--rate", type=float, default=None,
+                           help="arrival rate (jobs/s); overrides --gap")
+    workloads.add_argument("--trace", default=None, help="SWF trace path")
+    workloads.add_argument("--max-jobs", type=int, default=None,
+                           help="truncate an SWF trace to its first N jobs")
+    workloads.add_argument("--time-scale", type=float, default=1.0,
+                           help="compress SWF arrival times and durations")
+    workloads.add_argument("--policy", default="elastic",
+                           choices=("elastic", "moldable", "min_replicas",
+                                    "max_replicas", "all"))
+    workloads.add_argument("--rescale-gap", type=float, default=180.0)
+    workloads.add_argument("--slots", type=int, default=64)
+    workloads.add_argument("--retain", default="full",
+                           choices=("full", "metrics"),
+                           help="'metrics' streams outcomes and drops "
+                                "timelines (large workloads)")
+    workloads.add_argument("--workers", type=int, default=None)
+    workloads.set_defaults(fn=_cmd_workloads)
 
     for fig in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")
         p.add_argument("--trials", type=int, default=100)
+        if fig in ("fig7", "fig8"):
+            p.add_argument("--workers", type=int, default=None,
+                           help="process-pool size for the sweep grid")
         p.set_defaults(fn=_cmd_figure)
     return parser
 
@@ -143,6 +289,11 @@ def main(argv=None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `python -m repro jobs | head`
         return 0
+    except (ReproError, OSError) as err:
+        # User-input errors (bad source name, missing trace file, ...)
+        # deserve a one-line message, not a traceback.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

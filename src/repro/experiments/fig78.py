@@ -30,15 +30,17 @@ PANEL_METRICS = (
 
 
 def run_fig7(trials: int = 100, gaps: Sequence[float] = FIG7_SUBMISSION_GAPS,
-             rescale_gap: float = 180.0) -> SweepResult:
+             rescale_gap: float = 180.0, workers: Optional[int] = None) -> SweepResult:
     """Figure 7: metrics vs submission gap, T_rescale_gap = 180 s."""
-    return sweep_submission_gap(gaps=gaps, rescale_gap=rescale_gap, trials=trials)
+    return sweep_submission_gap(gaps=gaps, rescale_gap=rescale_gap, trials=trials,
+                                workers=workers)
 
 
 def run_fig8(trials: int = 100, gaps: Sequence[float] = FIG8_RESCALE_GAPS,
-             submission_gap: float = 180.0) -> SweepResult:
+             submission_gap: float = 180.0, workers: Optional[int] = None) -> SweepResult:
     """Figure 8: metrics vs T_rescale_gap, submission gap = 180 s."""
-    return sweep_rescale_gap(gaps=gaps, submission_gap=submission_gap, trials=trials)
+    return sweep_rescale_gap(gaps=gaps, submission_gap=submission_gap, trials=trials,
+                             workers=workers)
 
 
 def render_sweep_figure(result: SweepResult, figure_name: str,

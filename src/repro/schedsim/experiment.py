@@ -16,7 +16,7 @@ from .simulator import ScheduleSimulator, SimulationResult
 from .workload import WorkloadSpec, generate_workload
 
 __all__ = ["TrialStats", "run_once", "run_trials", "compare_policies",
-           "DEFAULT_TRIALS"]
+           "DEFAULT_TRIALS", "trial_task", "run_trial_task", "aggregate_trials"]
 
 #: The paper averages 100 random workloads per configuration.
 DEFAULT_TRIALS = 100
@@ -61,6 +61,45 @@ def run_once(
     return simulator.run(generate_workload(spec))
 
 
+def trial_task(
+    policy_name: str,
+    submission_gap: float,
+    rescale_gap: float,
+    seed: int,
+    total_slots: int = 64,
+    num_jobs: int = 16,
+) -> tuple:
+    """The picklable unit of work a sweep fans out: one trial's config."""
+    return (policy_name, submission_gap, rescale_gap, seed, total_slots, num_jobs)
+
+
+def run_trial_task(task: tuple) -> SchedulerMetrics:
+    """Execute one :func:`trial_task` tuple (serial and pool paths both
+    run trials through here, so their per-trial results are identical)."""
+    policy_name, submission_gap, rescale_gap, seed, total_slots, num_jobs = task
+    return run_once(
+        policy_name,
+        submission_gap=submission_gap,
+        rescale_gap=rescale_gap,
+        seed=seed,
+        total_slots=total_slots,
+        num_jobs=num_jobs,
+    ).metrics
+
+
+def aggregate_trials(policy_name: str, metrics: List[SchedulerMetrics]) -> TrialStats:
+    """Average per-trial metrics in list order (the paper's mean-of-100)."""
+    n = float(len(metrics))
+    return TrialStats(
+        policy=policy_name,
+        trials=len(metrics),
+        total_time=sum(m.total_time for m in metrics) / n,
+        utilization=sum(m.utilization for m in metrics) / n,
+        weighted_mean_response=sum(m.weighted_mean_response for m in metrics) / n,
+        weighted_mean_completion=sum(m.weighted_mean_completion for m in metrics) / n,
+    )
+
+
 def run_trials(
     policy_name: str,
     submission_gap: float,
@@ -69,32 +108,29 @@ def run_trials(
     base_seed: int = 0,
     total_slots: int = 64,
     num_jobs: int = 16,
+    workers: Optional[int] = None,
 ) -> TrialStats:
     """Average the four metrics over ``trials`` random workloads.
 
     Trial *i* uses seed ``base_seed + i``, so different policies see the
     same 100 workloads — paired comparison, as in the paper.
+
+    ``workers`` > 1 fans the trials out across a process pool; results
+    come back in seed order and are averaged by the same code as the
+    serial path, so the two produce identical statistics.
     """
-    metrics: List[SchedulerMetrics] = []
-    for i in range(trials):
-        result = run_once(
-            policy_name,
-            submission_gap=submission_gap,
-            rescale_gap=rescale_gap,
-            seed=base_seed + i,
-            total_slots=total_slots,
-            num_jobs=num_jobs,
-        )
-        metrics.append(result.metrics)
-    n = float(len(metrics))
-    return TrialStats(
-        policy=policy_name,
-        trials=trials,
-        total_time=sum(m.total_time for m in metrics) / n,
-        utilization=sum(m.utilization for m in metrics) / n,
-        weighted_mean_response=sum(m.weighted_mean_response for m in metrics) / n,
-        weighted_mean_completion=sum(m.weighted_mean_completion for m in metrics) / n,
-    )
+    from ..workloads.parallel import parallel_map, resolve_workers
+
+    tasks = [
+        trial_task(policy_name, submission_gap, rescale_gap, base_seed + i,
+                   total_slots, num_jobs)
+        for i in range(trials)
+    ]
+    if resolve_workers(workers) > 1:
+        metrics = parallel_map(run_trial_task, tasks, workers=workers)
+    else:
+        metrics = [run_trial_task(task) for task in tasks]
+    return aggregate_trials(policy_name, metrics)
 
 
 def compare_policies(
@@ -102,13 +138,38 @@ def compare_policies(
     rescale_gap: float = 180.0,
     trials: int = DEFAULT_TRIALS,
     policies: Sequence[str] = ("min_replicas", "max_replicas", "moldable", "elastic"),
-    **kwargs,
+    workers: Optional[int] = None,
+    base_seed: int = 0,
+    total_slots: int = 64,
+    num_jobs: int = 16,
 ) -> Dict[str, TrialStats]:
-    """One averaged row per policy — the Table-1 simulation columns."""
+    """One averaged row per policy — the Table-1 simulation columns.
+
+    With ``workers`` > 1 (or ``REPRO_WORKERS`` set) the whole policies x
+    trials grid runs through one process pool instead of nested serial
+    loops.
+    """
+    from ..workloads.parallel import parallel_map, resolve_workers
+
+    if resolve_workers(workers) > 1:
+        tasks = [
+            trial_task(name, submission_gap, rescale_gap, base_seed + i,
+                       total_slots, num_jobs)
+            for name in policies
+            for i in range(trials)
+        ]
+        metrics = parallel_map(run_trial_task, tasks, workers=workers)
+        return {
+            name: aggregate_trials(
+                name, metrics[p * trials: (p + 1) * trials]
+            )
+            for p, name in enumerate(policies)
+        }
     return {
         name: run_trials(
             name, submission_gap=submission_gap, rescale_gap=rescale_gap,
-            trials=trials, **kwargs,
+            trials=trials, base_seed=base_seed, total_slots=total_slots,
+            num_jobs=num_jobs,
         )
         for name in policies
     }

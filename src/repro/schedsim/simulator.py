@@ -15,7 +15,7 @@ Kubernetes path uses — the simulator only supplies time and job progress.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import SchedulingError
 from ..perfmodel.datasets import size_class, step_time_model
@@ -24,6 +24,7 @@ from ..scheduling import (
     EnqueueJob,
     ExpandJob,
     JobOutcome,
+    MetricsAccumulator,
     PolicyConfig,
     ReplicaTimeline,
     SchedulerMetrics,
@@ -98,23 +99,72 @@ class ScheduleSimulator:
         self._timelines: Dict[str, ReplicaTimeline] = {}
         self._submissions: Dict[str, Submission] = {}
         self._completed: List[str] = []
+        self._submitted_count = 0
+        self._completed_count = 0
+        self._accumulator: Optional[MetricsAccumulator] = None
+        self._stream: Optional[Iterator[Submission]] = None
+        self._last_submit_time = float("-inf")
 
     # ------------------------------------------------------------------
 
-    def run(self, submissions: Sequence[Submission]) -> SimulationResult:
-        """Run the whole workload to completion and aggregate metrics."""
-        if not submissions:
-            raise SchedulingError("workload is empty")
-        for sub in submissions:
-            self._submissions[sub.request.name] = sub
-            self._timelines[sub.request.name] = ReplicaTimeline()
-            self.engine.schedule_at(sub.time, self._on_submit, sub)
+    def run(
+        self,
+        submissions: Iterable[Submission],
+        retain: str = "full",
+    ) -> SimulationResult:
+        """Run the whole workload to completion and aggregate metrics.
+
+        ``submissions`` may be a materialized sequence (the paper's 16-job
+        draws) or any lazy iterable in non-decreasing time order (SWF
+        traces, large synthetic sources): a sequence pre-schedules every
+        arrival event up front — the seed behaviour, preserved exactly —
+        while an iterator is consumed one arrival at a time, so the event
+        heap and the pending-submission memory stay O(running jobs), not
+        O(workload).
+
+        ``retain`` controls what the result keeps: ``"full"`` (default)
+        stores every outcome and replica timeline; ``"metrics"`` streams
+        outcomes through a :class:`MetricsAccumulator` and drops per-job
+        state as jobs finish — the mode for thousand-job workloads.
+        """
+        if self._submitted_count:
+            # A second run would silently merge with the first workload's
+            # per-job state and accumulator sums.
+            raise SchedulingError(
+                "ScheduleSimulator.run() may only be called once per instance"
+            )
+        if retain not in ("full", "metrics"):
+            raise SchedulingError(f"unknown retain mode {retain!r}")
+        if retain == "metrics":
+            self._accumulator = MetricsAccumulator(
+                self.policy.config.name, total_slots=self.total_slots
+            )
+        if isinstance(submissions, Sequence):
+            if not submissions:
+                raise SchedulingError("workload is empty")
+            for sub in submissions:
+                self._register(sub)
+                self.engine.schedule_at(sub.time, self._on_submit, sub)
+        else:
+            self._stream = iter(submissions)
+            if not self._schedule_next_submission():
+                raise SchedulingError("workload is empty")
         self.engine.run()
-        if len(self._completed) != len(submissions):
+        if self._completed_count != self._submitted_count:
             stuck = sorted(set(self._submissions) - set(self._completed))
             raise SchedulingError(
                 f"simulation ended with unfinished jobs: {stuck} "
                 "(queued jobs never became feasible?)"
+            )
+        if self._accumulator is not None:
+            metrics = self._accumulator.finalize()
+            return SimulationResult(
+                policy=self.policy.config.name,
+                metrics=metrics,
+                outcomes=[],
+                timelines={},
+                rescale_counts={},
+                makespan=metrics.total_time,
             )
         outcomes = [self._outcome(name) for name in sorted(self._submissions)]
         metrics = compute_metrics(
@@ -136,16 +186,49 @@ class ScheduleSimulator:
     # Event handlers
     # ------------------------------------------------------------------
 
+    def _register(self, sub: Submission) -> None:
+        name = sub.request.name
+        if name in self._submissions:
+            raise SchedulingError(f"duplicate job name {name!r} in workload")
+        self._submissions[name] = sub
+        self._timelines[name] = ReplicaTimeline()
+        self._submitted_count += 1
+
+    def _schedule_next_submission(self) -> bool:
+        """Pull one arrival from the stream; returns False when drained."""
+        sub = next(self._stream, None)
+        if sub is None:
+            return False
+        if sub.time < self._last_submit_time:
+            raise SchedulingError(
+                f"streamed submissions must be time-ordered: "
+                f"{sub.request.name} at {sub.time} after {self._last_submit_time}"
+            )
+        self._last_submit_time = sub.time
+        self._register(sub)
+        self.engine.schedule_at(sub.time, self._on_submit, sub)
+        return True
+
     def _on_submit(self, sub: Submission) -> None:
         decisions = self.policy.on_submit(sub.request, self.engine.now)
         self._apply(decisions)
+        if self._stream is not None:
+            self._schedule_next_submission()
 
     def _on_finish(self, name: str) -> None:
         job = self._running.pop(name)
         self._timelines[name].record(self.engine.now, 0)
-        self._completed.append(name)
+        self._completed_count += 1
         decisions = self.policy.on_complete(name, self.engine.now)
         self._apply(decisions)
+        if self._accumulator is not None:
+            # Streaming aggregation: fold the outcome in and free the
+            # per-job state; the timeline is final once replicas hit 0.
+            self._accumulator.add(self._outcome(name))
+            del self._timelines[name]
+            del self._submissions[name]
+        else:
+            self._completed.append(name)
 
     # ------------------------------------------------------------------
     # Decision application

@@ -1,11 +1,26 @@
-"""Parameter sweeps: the Figure 7 and Figure 8 experiments."""
+"""Parameter sweeps: the Figure 7 and Figure 8 experiments.
+
+A sweep is a policies x values x trials grid of independent simulations
+(Figure 7 at the paper's scale is 4 x 7 x 100 = 2800 runs).  With
+``workers`` > 1 the grid is flattened into one task list and fanned out
+across a process pool (:mod:`repro.workloads.parallel`); per-cell
+averages are computed from the pool results in the same trial order the
+serial loop uses, so both paths return identical statistics.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .experiment import DEFAULT_TRIALS, TrialStats, run_trials
+from .experiment import (
+    DEFAULT_TRIALS,
+    TrialStats,
+    aggregate_trials,
+    run_trial_task,
+    run_trials,
+    trial_task,
+)
 
 __all__ = [
     "SweepResult",
@@ -44,22 +59,57 @@ class SweepResult:
         return [p for p in POLICY_ORDER if p in self.stats]
 
 
+def _run_grid(
+    parameter: str,
+    cells: List[tuple],  # (policy, value, submission_gap, rescale_gap)
+    values: Sequence[float],
+    trials: int,
+    workers: Optional[int],
+    base_seed: int = 0,
+    total_slots: int = 64,
+    num_jobs: int = 16,
+) -> SweepResult:
+    """Run every (cell, trial) simulation and fold into a SweepResult."""
+    from ..workloads.parallel import parallel_map, resolve_workers
+
+    result = SweepResult(parameter=parameter, values=list(values))
+    if resolve_workers(workers) > 1:
+        tasks = [
+            trial_task(policy, sub_gap, rescale_gap, base_seed + i,
+                       total_slots, num_jobs)
+            for policy, _value, sub_gap, rescale_gap in cells
+            for i in range(trials)
+        ]
+        metrics = parallel_map(run_trial_task, tasks, workers=workers)
+        per_cell = [
+            aggregate_trials(cell[0], metrics[c * trials: (c + 1) * trials])
+            for c, cell in enumerate(cells)
+        ]
+    else:
+        per_cell = [
+            run_trials(policy, submission_gap=sub_gap, rescale_gap=rescale_gap,
+                       trials=trials, base_seed=base_seed,
+                       total_slots=total_slots, num_jobs=num_jobs)
+            for policy, _value, sub_gap, rescale_gap in cells
+        ]
+    for cell, stats in zip(cells, per_cell):
+        result.stats.setdefault(cell[0], []).append(stats)
+    return result
+
+
 def sweep_submission_gap(
     gaps: Sequence[float] = FIG7_SUBMISSION_GAPS,
     rescale_gap: float = 180.0,
     trials: int = DEFAULT_TRIALS,
     policies: Sequence[str] = POLICY_ORDER,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> SweepResult:
     """Figure 7: metrics vs job submission rate (T_rescale_gap = 180 s)."""
-    result = SweepResult(parameter="submission_gap", values=list(gaps))
-    for policy in policies:
-        result.stats[policy] = [
-            run_trials(policy, submission_gap=gap, rescale_gap=rescale_gap,
-                       trials=trials, **kwargs)
-            for gap in gaps
-        ]
-    return result
+    cells = [
+        (policy, gap, gap, rescale_gap) for policy in policies for gap in gaps
+    ]
+    return _run_grid("submission_gap", cells, gaps, trials, workers, **kwargs)
 
 
 def sweep_rescale_gap(
@@ -67,6 +117,7 @@ def sweep_rescale_gap(
     submission_gap: float = 180.0,
     trials: int = DEFAULT_TRIALS,
     policies: Sequence[str] = POLICY_ORDER,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> SweepResult:
     """Figure 8: metrics vs T_rescale_gap (submission gap = 180 s).
@@ -75,11 +126,7 @@ def sweep_rescale_gap(
     construction (moldable uses ∞; rigid jobs cannot rescale), so their
     lines are flat — exactly as in the paper's Figure 8.
     """
-    result = SweepResult(parameter="rescale_gap", values=list(gaps))
-    for policy in policies:
-        result.stats[policy] = [
-            run_trials(policy, submission_gap=submission_gap, rescale_gap=gap,
-                       trials=trials, **kwargs)
-            for gap in gaps
-        ]
-    return result
+    cells = [
+        (policy, gap, submission_gap, gap) for policy in policies for gap in gaps
+    ]
+    return _run_grid("rescale_gap", cells, gaps, trials, workers, **kwargs)

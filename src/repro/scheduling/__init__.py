@@ -13,7 +13,13 @@ Public surface::
 
 from .elastic import ElasticPolicyEngine
 from .job import JobRequest, JobState, SchedulerJob, priority_order_key
-from .metrics import JobOutcome, ReplicaTimeline, SchedulerMetrics, compute_metrics
+from .metrics import (
+    JobOutcome,
+    MetricsAccumulator,
+    ReplicaTimeline,
+    SchedulerMetrics,
+    compute_metrics,
+)
 from .policies import DEFAULT_RESCALE_GAP, POLICY_NAMES, make_policy
 from .policy import (
     Decision,
@@ -43,6 +49,7 @@ __all__ = [
     "ReplicaTimeline",
     "SchedulerMetrics",
     "compute_metrics",
+    "MetricsAccumulator",
 ]
 
 # The Kubernetes-facing controller pulls in the operator stack; import it

@@ -18,7 +18,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import SchedulingError
 from ..units import format_duration
 
-__all__ = ["JobOutcome", "SchedulerMetrics", "compute_metrics", "ReplicaTimeline"]
+__all__ = [
+    "JobOutcome",
+    "SchedulerMetrics",
+    "compute_metrics",
+    "ReplicaTimeline",
+    "MetricsAccumulator",
+]
 
 
 @dataclass
@@ -112,6 +118,65 @@ class SchedulerMetrics:
             f"util={self.utilization * 100:.2f}% "
             f"resp={self.weighted_mean_response:.2f}s "
             f"compl={self.weighted_mean_completion:.2f}s"
+        )
+
+
+class MetricsAccumulator:
+    """Online aggregation of job outcomes into the four §4.3 metrics.
+
+    :func:`compute_metrics` needs every outcome — and its full replica
+    timeline — alive at once; for thousand-job workloads that dominates
+    the simulator's memory.  The accumulator consumes outcomes one at a
+    time as jobs finish and keeps only running sums, so the caller can
+    drop each timeline immediately after :meth:`add`.
+
+    The per-job busy integral is taken up to the job's own completion
+    time, which matches the window-wide integral whenever the timeline
+    ends at zero replicas (the simulator records a final ``(t, 0)``
+    sample on completion).
+    """
+
+    def __init__(self, policy: str, total_slots: int):
+        self.policy = policy
+        self.total_slots = total_slots
+        self.job_count = 0
+        self._busy = 0.0
+        self._weight = 0.0
+        self._weighted_response = 0.0
+        self._weighted_completion = 0.0
+        self._begin = float("inf")
+        self._end = float("-inf")
+
+    def add(self, outcome: JobOutcome) -> None:
+        """Fold one finished job into the running sums."""
+        outcome.validate()
+        self.job_count += 1
+        self._begin = min(self._begin, outcome.start_time)
+        self._end = max(self._end, outcome.completion_time)
+        self._busy += outcome.timeline.slot_seconds(outcome.completion_time)
+        self._weight += outcome.priority
+        self._weighted_response += outcome.priority * outcome.response_time
+        self._weighted_completion += outcome.priority * outcome.turnaround_time
+
+    def finalize(
+        self, span: Optional[Tuple[float, float]] = None
+    ) -> SchedulerMetrics:
+        """Produce the metrics row; the accumulator stays reusable."""
+        if self.job_count == 0:
+            raise SchedulingError("MetricsAccumulator has no job outcomes")
+        begin, end = span if span is not None else (self._begin, self._end)
+        duration = end - begin
+        if duration <= 0:
+            raise SchedulingError(f"degenerate measurement window [{begin}, {end}]")
+        if self._weight <= 0:
+            raise SchedulingError("total priority weight must be positive")
+        return SchedulerMetrics(
+            policy=self.policy,
+            total_time=duration,
+            utilization=self._busy / (self.total_slots * duration),
+            weighted_mean_response=self._weighted_response / self._weight,
+            weighted_mean_completion=self._weighted_completion / self._weight,
+            job_count=self.job_count,
         )
 
 

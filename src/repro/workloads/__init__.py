@@ -1,0 +1,132 @@
+"""Workload sources beyond the paper's single synthetic draw.
+
+Public surface::
+
+    from repro.workloads import (
+        WorkloadSource, FixedWorkload, PaperWorkload, materialize,
+        SWFTrace, parse_swf, SWFJob,
+        SyntheticWorkload, PoissonArrivals, DiurnalArrivals,
+        BurstyArrivals, FixedGapArrivals,
+        UniformMix, WeightedMix, HeavyTailedMix,
+        parallel_map, resolve_workers,
+        make_source, SOURCE_NAMES,
+    )
+
+Every source yields :class:`~repro.schedsim.workload.Submission` objects
+in time order and plugs straight into ``ScheduleSimulator.run`` — lazily
+(pass ``source.submissions()``) or materialized (pass
+``materialize(source)``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SchedulingError
+from .base import (
+    FixedWorkload,
+    PaperWorkload,
+    WorkloadSource,
+    make_request,
+    materialize,
+    size_class_for_procs,
+)
+from .parallel import parallel_map, resolve_workers
+from .swf import SWFJob, SWFParseResult, SWFTrace, parse_swf, parse_swf_lines
+from .synthetic import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    FixedGapArrivals,
+    HeavyTailedMix,
+    JobMix,
+    PoissonArrivals,
+    SyntheticWorkload,
+    UniformMix,
+    WeightedMix,
+)
+
+__all__ = [
+    "WorkloadSource",
+    "FixedWorkload",
+    "PaperWorkload",
+    "make_request",
+    "materialize",
+    "size_class_for_procs",
+    "SWFJob",
+    "SWFParseResult",
+    "SWFTrace",
+    "parse_swf",
+    "parse_swf_lines",
+    "ArrivalProcess",
+    "FixedGapArrivals",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstyArrivals",
+    "JobMix",
+    "UniformMix",
+    "WeightedMix",
+    "HeavyTailedMix",
+    "SyntheticWorkload",
+    "parallel_map",
+    "resolve_workers",
+    "make_source",
+    "SOURCE_NAMES",
+]
+
+#: Built-in source families the CLI exposes.
+SOURCE_NAMES = ("paper", "poisson", "diurnal", "bursty", "heavy", "swf")
+
+
+def make_source(
+    kind: str,
+    jobs: int = 16,
+    seed: int = 0,
+    gap: float = 90.0,
+    rate: Optional[float] = None,
+    trace: Optional[str] = None,
+    max_jobs: Optional[int] = None,
+    time_scale: float = 1.0,
+) -> WorkloadSource:
+    """Build one of the named workload sources from scalar options.
+
+    ``rate`` defaults to ``1/gap`` for the stochastic arrival processes,
+    so ``--gap`` means "mean inter-arrival" uniformly across sources.
+    """
+    if kind == "paper":
+        return PaperWorkload(num_jobs=jobs, submission_gap=gap, seed=seed)
+    if kind == "swf":
+        if trace is None:
+            raise SchedulingError("the swf source needs a trace file (--trace)")
+        # max_jobs=None means the whole trace; the synthetic sources'
+        # ``jobs`` default must not silently truncate a real trace.
+        return SWFTrace(trace, max_jobs=max_jobs, time_scale=time_scale)
+    if rate is None and gap <= 0:
+        # gap=0 is legal for the fixed-gap paper source but has no rate
+        # interpretation; inventing one would silently change the model.
+        raise SchedulingError(
+            f"the {kind} source needs a positive --gap (mean inter-arrival) "
+            "or an explicit --rate"
+        )
+    effective_rate = rate if rate is not None else 1.0 / gap
+    if kind == "poisson":
+        return SyntheticWorkload(
+            jobs, PoissonArrivals(effective_rate), UniformMix(), seed=seed
+        )
+    if kind == "diurnal":
+        return SyntheticWorkload(
+            jobs, DiurnalArrivals(effective_rate), UniformMix(), seed=seed
+        )
+    if kind == "bursty":
+        # Bursts of 8 spaced so the long-run rate matches effective_rate.
+        return SyntheticWorkload(
+            jobs, BurstyArrivals(burst_size=8, burst_gap=8.0 / effective_rate),
+            UniformMix(), seed=seed,
+        )
+    if kind == "heavy":
+        return SyntheticWorkload(
+            jobs, PoissonArrivals(effective_rate), HeavyTailedMix(), seed=seed
+        )
+    raise SchedulingError(
+        f"unknown workload source {kind!r}; available: {', '.join(SOURCE_NAMES)}"
+    )

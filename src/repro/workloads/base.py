@@ -1,0 +1,126 @@
+"""The :class:`WorkloadSource` protocol and basic sources.
+
+The paper evaluates its policies on one synthetic draw — 16 jobs from 4
+size classes (§4.3.1).  This package opens the simulator to arbitrary
+scenarios: any object that yields :class:`~repro.schedsim.workload
+.Submission` objects in non-decreasing time order can drive
+:class:`~repro.schedsim.simulator.ScheduleSimulator`, whether the jobs
+come from the paper's generator, a composable synthetic process
+(:mod:`repro.workloads.synthetic`), or a real Standard Workload Format
+trace (:mod:`repro.workloads.swf`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Protocol, Sequence, runtime_checkable
+
+from ..errors import SchedulingError
+from ..perfmodel.datasets import JOB_SIZE_CLASSES, JobSizeClass
+from ..scheduling import JobRequest
+from ..schedsim.workload import Submission, WorkloadSpec, generate_workload
+
+__all__ = [
+    "WorkloadSource",
+    "FixedWorkload",
+    "PaperWorkload",
+    "make_request",
+    "size_class_for_procs",
+    "materialize",
+]
+
+#: Size classes ordered by capacity — used to map a processor request onto
+#: the paper's four problem classes.
+_CLASSES_BY_CAPACITY: List[JobSizeClass] = sorted(
+    JOB_SIZE_CLASSES.values(), key=lambda c: c.max_replicas
+)
+
+
+@runtime_checkable
+class WorkloadSource(Protocol):
+    """Anything that can produce a stream of job submissions.
+
+    Implementations yield submissions in non-decreasing ``time`` order;
+    the simulator consumes the iterator lazily, so a source may describe
+    far more jobs than would fit in memory as materialized events.
+    """
+
+    name: str
+
+    def submissions(self) -> Iterator[Submission]:
+        """Yield the workload's submissions in time order."""
+        ...  # pragma: no cover - protocol
+
+
+def size_class_for_procs(procs: int) -> JobSizeClass:
+    """Map a processor request onto the paper's size-class table.
+
+    The smallest class whose ``max_replicas`` covers the request wins;
+    requests beyond the largest class saturate at ``xlarge``.
+    """
+    if procs < 1:
+        raise SchedulingError(f"processor request must be positive, got {procs}")
+    for cls in _CLASSES_BY_CAPACITY:
+        if procs <= cls.max_replicas:
+            return cls
+    return _CLASSES_BY_CAPACITY[-1]
+
+
+def make_request(
+    name: str,
+    size: JobSizeClass,
+    priority: int,
+    timesteps: Optional[int] = None,
+) -> JobRequest:
+    """Build the :class:`JobRequest` for one job of a given size class."""
+    steps = int(timesteps) if timesteps is not None else size.timesteps
+    return JobRequest(
+        name=name,
+        min_replicas=size.min_replicas,
+        max_replicas=size.max_replicas,
+        priority=priority,
+        size_class=size.name,
+        params={"size_class": size.name, "timesteps": steps},
+    )
+
+
+def materialize(source: WorkloadSource) -> List[Submission]:
+    """Collect a source into a list, validating time monotonicity."""
+    out: List[Submission] = []
+    last = float("-inf")
+    for sub in source.submissions():
+        if sub.time < last:
+            raise SchedulingError(
+                f"{source.name}: submissions out of order "
+                f"({sub.request.name} at {sub.time} after {last})"
+            )
+        last = sub.time
+        out.append(sub)
+    return out
+
+
+class FixedWorkload:
+    """A source wrapping an already-built submission list."""
+
+    def __init__(self, submissions: Sequence[Submission], name: str = "fixed"):
+        self.name = name
+        self._submissions = list(submissions)
+
+    def __len__(self) -> int:
+        return len(self._submissions)
+
+    def submissions(self) -> Iterator[Submission]:
+        return iter(self._submissions)
+
+
+class PaperWorkload:
+    """The §4.3.1 generator behind the common source protocol."""
+
+    def __init__(self, spec: Optional[WorkloadSpec] = None, **kwargs):
+        self.spec = spec or WorkloadSpec(**kwargs)
+        self.name = f"paper(jobs={self.spec.num_jobs}, seed={self.spec.seed})"
+
+    def __len__(self) -> int:
+        return self.spec.num_jobs
+
+    def submissions(self) -> Iterator[Submission]:
+        return iter(generate_workload(self.spec))

@@ -1,0 +1,91 @@
+"""Parallel-vs-serial sweep equivalence and pool machinery."""
+
+import os
+
+import pytest
+
+from repro.schedsim import compare_policies, run_trials, sweep_submission_gap
+from repro.workloads.parallel import parallel_map, resolve_workers
+
+
+def _square(x):
+    return x * x
+
+
+def _worker_pid(_x):
+    return os.getpid()
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, workers=3) == [x * x for x in items]
+
+    def test_serial_fallback(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_uses_multiple_worker_processes(self):
+        pids = set(parallel_map(_worker_pid, list(range(16)), workers=2,
+                                chunksize=1))
+        assert os.getpid() not in pids  # work really left this process
+        assert len(pids) >= 2
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(4) == 4
+        assert resolve_workers() == 1  # parallelism is opt-in
+        assert resolve_workers(0) == (os.cpu_count() or 1)  # 0 = all cores
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+
+    def test_resolve_workers_rejects_non_integer_env(self, monkeypatch):
+        from repro.errors import SchedulingError
+
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        with pytest.raises(SchedulingError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_env_enables_pool_at_call_sites(self, monkeypatch):
+        # REPRO_WORKERS must reach the sweep layer's gating, not just
+        # parallel_map: same results, pool path taken.
+        serial = run_trials("elastic", submission_gap=90.0, trials=3)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        via_env = run_trials("elastic", submission_gap=90.0, trials=3)
+        assert serial == via_env
+
+
+class TestEquivalence:
+    """The acceptance bar: parallel results identical to serial, same seeds."""
+
+    def test_run_trials_identical(self):
+        serial = run_trials("elastic", submission_gap=90.0, trials=6)
+        parallel = run_trials("elastic", submission_gap=90.0, trials=6,
+                              workers=2)
+        assert serial == parallel
+
+    def test_compare_policies_identical(self):
+        serial = compare_policies(trials=3)
+        parallel = compare_policies(trials=3, workers=2)
+        assert serial == parallel
+
+    def test_sweep_identical_across_grid(self):
+        kwargs = dict(gaps=(50.0, 250.0), trials=3,
+                      policies=("elastic", "moldable"))
+        serial = sweep_submission_gap(**kwargs)
+        parallel = sweep_submission_gap(workers=2, **kwargs)
+        assert serial.values == parallel.values
+        assert serial.policies() == parallel.policies()
+        for policy in serial.stats:
+            assert serial.stats[policy] == parallel.stats[policy]
+
+    def test_sweep_respects_base_seed_pairing(self):
+        # Different base seeds must give different stats (no accidental
+        # seed reuse in the flattened grid).
+        a = sweep_submission_gap(gaps=(90.0,), trials=2, workers=2,
+                                 policies=("elastic",), base_seed=0)
+        b = sweep_submission_gap(gaps=(90.0,), trials=2, workers=2,
+                                 policies=("elastic",), base_seed=1000)
+        assert a.stats["elastic"] != b.stats["elastic"]
