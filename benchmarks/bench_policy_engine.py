@@ -1,0 +1,71 @@
+"""Policy-engine hot-path benchmarks (PR 2's tentpole artifact).
+
+Bounds the scheduler's per-event cost at trace scale: raw engine churn
+with an O(n) queue backlog — optimized vs the frozen pre-optimization
+reference on identical work — and the end-to-end simulator in streaming
+``retain="metrics"`` mode.  The same measurements back the ``repro
+bench`` CLI verb and the CI regression gate; this pytest wrapper keeps
+them in the ``pytest-benchmark`` harness with the other paper artifacts.
+
+Environment knobs: ``REPRO_BENCH_JOBS`` (churn/simulator size, default
+10_000).
+"""
+
+import os
+
+from benchmarks.conftest import once
+from repro.bench import bench_engine_churn, bench_simulator
+
+
+def _jobs_from_env(default: int = 10_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+def test_engine_churn_optimized(benchmark, save_result):
+    """Optimized engine on the backlog-growing churn stream."""
+    jobs = _jobs_from_env()
+    row = once(benchmark, bench_engine_churn, jobs)
+    assert row["events"] == 2 * jobs
+    save_result(
+        "policy_engine_churn",
+        f"optimized engine: {jobs} jobs, {row['events_per_sec']:.0f} events/s",
+    )
+
+
+def test_engine_speedup_vs_reference(benchmark, save_result):
+    """The acceptance ratio: optimized vs pre-PR engine, same workload.
+
+    The golden equivalence test proves the decision sequences identical,
+    so this is a pure constant-factor/asymptotic comparison.
+    """
+    jobs = _jobs_from_env()
+
+    def measure():
+        optimized = bench_engine_churn(jobs)
+        reference = bench_engine_churn(jobs, reference=True)
+        return optimized, reference
+
+    optimized, reference = once(benchmark, measure)
+    speedup = optimized["events_per_sec"] / reference["events_per_sec"]
+    assert speedup >= 5.0, (
+        f"optimized engine is only {speedup:.2f}x the reference at "
+        f"{jobs} jobs; the PR-2 acceptance criterion requires >= 5x"
+    )
+    save_result(
+        "policy_engine_speedup",
+        f"{jobs} jobs: optimized {optimized['events_per_sec']:.0f} ev/s vs "
+        f"reference {reference['events_per_sec']:.0f} ev/s = {speedup:.1f}x",
+    )
+
+
+def test_simulator_streaming_throughput(benchmark, save_result):
+    """End-to-end simulator events/sec, streaming metrics mode."""
+    jobs = _jobs_from_env()
+    row = once(benchmark, bench_simulator, jobs)
+    # The streaming contract: every policy-engine job record retired.
+    assert row["live_job_records"] == 0
+    save_result(
+        "policy_engine_simulator",
+        f"simulator: {jobs} jobs, {row['events_per_sec']:.0f} events/s, "
+        f"peak RSS {row['peak_rss_kb']} kB",
+    )

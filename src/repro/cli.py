@@ -9,6 +9,7 @@ provides the equivalents against the simulated cluster::
     python -m repro simulate [--trials N] [--workers N]  # artifact A2's run.py
     python -m repro fig4|fig5|fig6|fig7|fig8|fig9|table1
     python -m repro workloads list|show|run ...      # trace/synthetic scenarios
+    python -m repro bench [--baseline BENCH_*.json]  # hot-path regression gate
 """
 
 from __future__ import annotations
@@ -176,6 +177,13 @@ def _run_workload_policy(task):
                               slots, retain)
 
 
+def _cmd_bench(args) -> int:
+    """Policy-engine benchmark + regression gate (see repro.bench)."""
+    from .bench import main_bench
+
+    return main_bench(args)
+
+
 def _cmd_figure(args) -> int:
     name = args.command
     if name == "fig4":
@@ -272,6 +280,36 @@ def build_parser() -> argparse.ArgumentParser:
                                 "timelines (large workloads)")
     workloads.add_argument("--workers", type=int, default=None)
     workloads.set_defaults(fn=_cmd_workloads)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure policy-engine throughput; gate against a baseline",
+        description="Runs the scheduler hot-path benchmarks (engine churn + "
+                    "simulator at each size), writes machine-readable "
+                    "BENCH_*.json results, and optionally fails on "
+                    "regression vs a committed baseline.",
+    )
+    bench.add_argument("--sizes", default="1000,10000,100000",
+                       help="comma-separated job counts (default: "
+                            "1000,10000,100000)")
+    bench.add_argument("--reference-max", type=int, default=10_000,
+                       help="largest size to also run through the frozen "
+                            "pre-optimization reference engine")
+    bench.add_argument("--output", default="BENCH_policy_engine.json",
+                       help="where to write the JSON results ('' to skip)")
+    bench.add_argument("--baseline", default=None,
+                       help="committed BENCH_*.json to gate against; "
+                            "non-zero exit on >threshold regression")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="allowed normalized events/sec drop vs the "
+                            "baseline (default 0.30)")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="fail unless optimized/reference speedup at "
+                            "--speedup-jobs reaches this ratio")
+    bench.add_argument("--speedup-jobs", type=int, default=10_000,
+                       help="job count the --min-speedup gate reads "
+                            "(default 10000)")
+    bench.set_defaults(fn=_cmd_bench)
 
     for fig in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")

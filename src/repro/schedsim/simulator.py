@@ -139,6 +139,12 @@ class ScheduleSimulator:
             self._accumulator = MetricsAccumulator(
                 self.policy.config.name, total_slots=self.total_slots
             )
+            # Streaming contract: nothing in the simulator or the policy
+            # engine may grow with workload length.  The decision log is
+            # the engine's only O(workload) structure, so switch it off
+            # (guarded: custom policy_engine_cls may predate the flag).
+            if hasattr(self.policy, "keep_decision_log"):
+                self.policy.keep_decision_log = False
         if isinstance(submissions, Sequence):
             if not submissions:
                 raise SchedulingError("workload is empty")
@@ -224,9 +230,14 @@ class ScheduleSimulator:
         if self._accumulator is not None:
             # Streaming aggregation: fold the outcome in and free the
             # per-job state; the timeline is final once replicas hit 0.
+            # The policy engine's record is retired afterwards so its
+            # job map stays bounded by running + queued jobs.
             self._accumulator.add(self._outcome(name))
             del self._timelines[name]
             del self._submissions[name]
+            retire = getattr(self.policy, "retire", None)
+            if retire is not None:
+                retire(name)
         else:
             self._completed.append(name)
 

@@ -26,11 +26,39 @@ Two deviations (both documented in DESIGN.md §3):
   literal budget can strand a queued job forever (see
   ``PolicyConfig.literal_completion_budget``, which restores the verbatim
   behaviour for ablation).
+
+Per-event complexity (the PR-2 hot-path contract)
+-------------------------------------------------
+
+The engine keeps ``running`` and ``queue`` **permanently sorted** by
+:func:`priority_order_key` (``bisect.insort``) and tracks used slots
+incrementally, so with ``n`` live (running + queued) jobs:
+
+* ``free_slots`` is O(1) — a counter maintained by every transition
+  (start/shrink/expand/complete/preempt/rescale-failed), never a re-sum;
+* start/enqueue insert in O(log n) comparisons (plus a C-level memmove);
+* completion removes the finished job in O(log n) and walks Figure 3's
+  ``allJobs`` through a **lazy** two-list merge, consuming only as many
+  candidates as the slot budget survives — no O(n log n) re-sort, no
+  O(n) snapshot allocation;
+* the Figure-2 shrink scan remains O(running) in the worst case, as the
+  algorithm itself demands (it must visit every potential victim).
+
+Decision sequences are **byte-identical** to the preserved pre-
+optimization engine (:mod:`repro.scheduling._reference`); the golden
+decision-log equivalence test
+(``tests/scheduling/test_decision_log_equivalence.py``) enforces the
+contract across randomized workloads for every policy configuration, so
+the documented Figure-2/3 quirks provably survive the refactor.  For
+streaming substrates, :meth:`ElasticPolicyEngine.retire` and
+:attr:`ElasticPolicyEngine.keep_decision_log` bound the engine's memory
+by the live-job count instead of the workload length.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CapacityError, JobStateError
 from .job import JobRequest, JobState, SchedulerJob, priority_order_key
@@ -44,6 +72,19 @@ from .policy import (
 )
 
 __all__ = ["ElasticPolicyEngine"]
+
+
+def _sorted_remove(jobs: List[SchedulerJob], job: SchedulerJob) -> None:
+    """Remove ``job`` from a list sorted by :func:`priority_order_key`.
+
+    O(log n) comparisons via bisect; the key is unique (``seq`` tie-break)
+    and immutable after submission, so the probe lands exactly on the job.
+    """
+    index = bisect_left(jobs, priority_order_key(job), key=priority_order_key)
+    if index < len(jobs) and jobs[index] is job:
+        del jobs[index]
+    else:  # pragma: no cover - defensive against key tampering
+        jobs.remove(job)
 
 
 class ElasticPolicyEngine:
@@ -63,6 +104,16 @@ class ElasticPolicyEngine:
         self.queue: List[SchedulerJob] = []  # decreasing priority order
         self._jobs: Dict[str, SchedulerJob] = {}
         self.decision_log: List[Decision] = []
+        #: Streaming substrates set this False so the log stays empty and
+        #: memory is bounded by live jobs, not workload length.
+        self.keep_decision_log: bool = True
+        #: Slots held by running jobs (workers + launcher reservations),
+        #: maintained incrementally by every transition.
+        self._used_slots: int = 0
+        # During on_complete's lazy candidate walk, queue→running moves are
+        # recorded here and applied after the walk (the merge iterator must
+        # not see structural mutations mid-flight).
+        self._pending_starts: Optional[List[SchedulerJob]] = None
 
     # ------------------------------------------------------------------
     # Accounting
@@ -71,11 +122,11 @@ class ElasticPolicyEngine:
     @property
     def free_slots(self) -> int:
         """Slots not held by running jobs (workers + launcher reservations)."""
-        used = sum(j.replicas + self.config.launcher_slots for j in self.running)
-        free = self.total_slots - used
+        free = self.total_slots - self._used_slots
         if free < 0:
             raise CapacityError(
-                f"scheduler over-committed: {used}/{self.total_slots} slots"
+                f"scheduler over-committed: {self._used_slots}/"
+                f"{self.total_slots} slots"
             )
         return free
 
@@ -87,7 +138,34 @@ class ElasticPolicyEngine:
 
     def jobs_by_priority(self) -> List[SchedulerJob]:
         """Running and queued jobs in decreasing priority (Fig 3's allJobs)."""
-        return sorted(self.running + self.queue, key=priority_order_key)
+        return list(self._candidates_by_priority())
+
+    def _candidates_by_priority(self) -> Iterator[SchedulerJob]:
+        """Lazy merge of the two sorted lists in decreasing priority.
+
+        Both lists are permanently sorted by :func:`priority_order_key`
+        with unique keys, so a two-pointer merge reproduces exactly what
+        ``sorted(running + queue)`` used to build — without materializing
+        it.  Callers must not structurally mutate ``running``/``queue``
+        while consuming the iterator (``on_complete`` defers its moves via
+        ``_pending_starts``).
+        """
+        run, que = self.running, self.queue
+        i = j = 0
+        len_run, len_que = len(run), len(que)
+        while i < len_run and j < len_que:
+            if priority_order_key(run[i]) < priority_order_key(que[j]):
+                yield run[i]
+                i += 1
+            else:
+                yield que[j]
+                j += 1
+        while i < len_run:
+            yield run[i]
+            i += 1
+        while j < len_que:
+            yield que[j]
+            j += 1
 
     # ------------------------------------------------------------------
     # Event: new job submitted (Figure 2)
@@ -170,8 +248,9 @@ class ElasticPolicyEngine:
         # freeWorkers(job): release the job's pods.
         job.state = JobState.COMPLETED
         job.completion_time = now
-        self.running.remove(job)
+        _sorted_remove(self.running, job)
         freed = job.replicas + self.config.launcher_slots
+        self._used_slots -= freed
         job.replicas = 0
         if self.config.literal_completion_budget:
             # Figure 3 verbatim: redistribute only this job's workers.
@@ -184,22 +263,29 @@ class ElasticPolicyEngine:
         reserve = self.config.launcher_slots
         gap = self.config.rescale_gap
         decisions: List[Decision] = []
-        for candidate in self.jobs_by_priority():
-            if num_workers <= 0:
-                break
-            if now - candidate.last_action < gap:
-                continue
-            if candidate.replicas < candidate.max_replicas:
-                add = min(num_workers, candidate.max_replicas - candidate.replicas)
-                if candidate.state == JobState.QUEUED:
-                    # Starting a queued job also needs its launcher slot.
-                    add = min(num_workers - reserve, candidate.max_replicas)
-                    if add >= candidate.min_replicas:
-                        decisions.append(self._start_queued(candidate, add, now))
-                        num_workers -= add + reserve
-                elif candidate.replicas + add >= candidate.min_replicas:
-                    decisions.append(self._expand(candidate, candidate.replicas + add, now))
-                    num_workers -= add
+        self._pending_starts = []
+        try:
+            for candidate in self._candidates_by_priority():
+                if num_workers <= 0:
+                    break
+                if now - candidate.last_action < gap:
+                    continue
+                if candidate.replicas < candidate.max_replicas:
+                    add = min(num_workers, candidate.max_replicas - candidate.replicas)
+                    if candidate.state == JobState.QUEUED:
+                        # Starting a queued job also needs its launcher slot.
+                        add = min(num_workers - reserve, candidate.max_replicas)
+                        if add >= candidate.min_replicas:
+                            decisions.append(self._start_queued(candidate, add, now))
+                            num_workers -= add + reserve
+                    elif candidate.replicas + add >= candidate.min_replicas:
+                        decisions.append(self._expand(candidate, candidate.replicas + add, now))
+                        num_workers -= add
+        finally:
+            started, self._pending_starts = self._pending_starts, None
+            for moved in started:
+                _sorted_remove(self.queue, moved)
+                insort(self.running, moved, key=priority_order_key)
         # Remaining freed workers return to the free pool implicitly.
         return self._log(decisions)
 
@@ -217,33 +303,60 @@ class ElasticPolicyEngine:
         job = self.job(name)
         if job.state != JobState.RUNNING:
             raise JobStateError(f"job {name!r} is not running")
-        job.replicas = int(actual_replicas)
+        actual = int(actual_replicas)
+        self._used_slots += actual - job.replicas
+        job.replicas = actual
         if self.free_slots < 0:  # pragma: no cover - defensive
             raise CapacityError("rescale failure reconciliation over-committed")
+
+    def retire(self, name: str) -> SchedulerJob:
+        """Drop a completed job's record from the engine's bookkeeping.
+
+        Streaming substrates (``retain="metrics"``) call this after
+        folding the job's outcome so ``_jobs`` stays bounded by the live
+        (running + queued) job count instead of growing with the workload.
+        """
+        job = self.job(name)
+        if job.state != JobState.COMPLETED:
+            raise JobStateError(
+                f"cannot retire job {name!r} in state {job.state.value}"
+            )
+        del self._jobs[name]
+        return job
 
     # ------------------------------------------------------------------
     # Internal transitions (each updates lastAction, per §3.2.1)
     # ------------------------------------------------------------------
 
-    def _start(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
-        self._validate_capacity(replicas + self.config.launcher_slots)
+    def _activate(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
+        """Mark ``job`` running and charge its slots (no list placement)."""
+        taken = replicas + self.config.launcher_slots
+        self._validate_capacity(taken)
         job.state = JobState.RUNNING
         job.replicas = replicas
         job.last_action = now
         job.start_time = now
-        self.running.append(job)
-        self.running.sort(key=priority_order_key)
+        self._used_slots += taken
         return StartJob(job=job, replicas=replicas)
 
+    def _start(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
+        start = self._activate(job, replicas, now)
+        insort(self.running, job, key=priority_order_key)
+        return start
+
     def _start_queued(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
-        self.queue.remove(job)
+        if self._pending_starts is not None:
+            # Mid-walk in on_complete: defer the queue→running move so the
+            # lazy merge iterator never sees a structural mutation.
+            self._pending_starts.append(job)
+            return self._activate(job, replicas, now)
+        _sorted_remove(self.queue, job)
         return self._start(job, replicas, now)
 
     def _enqueue(self, job: SchedulerJob) -> EnqueueJob:
         # NOTE: lastAction deliberately untouched (see module docstring).
         job.state = JobState.QUEUED
-        self.queue.append(job)
-        self.queue.sort(key=priority_order_key)
+        insort(self.queue, job, key=priority_order_key)
         return EnqueueJob(job=job)
 
     def _shrink(self, job: SchedulerJob, new_replicas: int, now: float) -> Optional[ShrinkJob]:
@@ -255,6 +368,7 @@ class ElasticPolicyEngine:
         job.replicas = new_replicas
         job.last_action = now
         job.rescale_count += 1
+        self._used_slots -= old - new_replicas
         return ShrinkJob(job=job, from_replicas=old, to_replicas=new_replicas)
 
     def _expand(self, job: SchedulerJob, new_replicas: int, now: float) -> ExpandJob:
@@ -263,6 +377,7 @@ class ElasticPolicyEngine:
         job.replicas = new_replicas
         job.last_action = now
         job.rescale_count += 1
+        self._used_slots += new_replicas - old
         return ExpandJob(job=job, from_replicas=old, to_replicas=new_replicas)
 
     def _validate_capacity(self, extra_slots: int) -> None:
@@ -273,7 +388,8 @@ class ElasticPolicyEngine:
             )
 
     def _log(self, decisions: List[Decision]) -> List[Decision]:
-        self.decision_log.extend(decisions)
+        if self.keep_decision_log:
+            self.decision_log.extend(decisions)
         return decisions
 
     # ------------------------------------------------------------------

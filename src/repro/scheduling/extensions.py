@@ -16,11 +16,12 @@ system is untouched when these classes are not used.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
-from .elastic import ElasticPolicyEngine
-from .job import JobState, SchedulerJob
+from .elastic import ElasticPolicyEngine, _sorted_remove
+from .job import JobState, SchedulerJob, priority_order_key
 from .policy import Decision, EnqueueJob, PolicyConfig, StartJob
 
 __all__ = ["AgingPolicyEngine", "PreemptivePolicyEngine", "PreemptJob",
@@ -66,6 +67,12 @@ class AgingPolicyEngine(ElasticPolicyEngine):
             self.running + self.queue,
             key=lambda j: (-self.effective_priority(j, now), j.submit_time, j.seq),
         )
+
+    def _candidates_by_priority(self) -> Iterator[SchedulerJob]:
+        # Effective priorities are time-dependent, so the base engine's
+        # lazy static-key merge does not apply: aging keeps the O(n log n)
+        # snapshot sort (queues under aging are completion-ordered anyway).
+        return iter(self.jobs_by_priority())
 
     # The base on_complete calls jobs_by_priority() with no argument; stash
     # the event time so the aged ordering is computed against it.
@@ -125,7 +132,7 @@ class PreemptivePolicyEngine(ElasticPolicyEngine):
         if not preemptions:
             return decisions
         # The arrival now fits: pull it back out of the queue and start it.
-        self.queue.remove(job)
+        _sorted_remove(self.queue, job)
         replicas = min(
             self.free_slots - self.config.launcher_slots, job.max_replicas
         )
@@ -148,15 +155,15 @@ class PreemptivePolicyEngine(ElasticPolicyEngine):
             return []
         decisions: List[Decision] = []
         for victim in victims:
-            self.running.remove(victim)
+            _sorted_remove(self.running, victim)
             released = victim.replicas
+            self._used_slots -= released + reserve
             victim.replicas = 0
             victim.state = JobState.QUEUED
             victim.last_action = now
             self.preempted.add(victim.name)
-            self.queue.append(victim)
+            insort(self.queue, victim, key=priority_order_key)
             decisions.append(PreemptJob(job=victim, released_replicas=released))
-        self.queue.sort(key=lambda j: (-j.priority, j.submit_time, j.seq))
         return decisions
 
     def _start_queued(self, job: SchedulerJob, replicas: int, now: float):

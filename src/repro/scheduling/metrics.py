@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,12 +57,11 @@ class ReplicaTimeline:
         return total
 
     def value_at(self, time: float) -> int:
-        value = 0
-        for t, r in self.samples:
-            if t > time:
-                break
-            value = r
-        return value
+        # Samples are time-sorted (record() enforces it), so the last
+        # change-point at or before ``time`` is a bisect away; equal-time
+        # samples resolve to the latest one, matching the old linear scan.
+        index = bisect_right(self.samples, time, key=lambda s: s[0])
+        return self.samples[index - 1][1] if index else 0
 
 
 @dataclass

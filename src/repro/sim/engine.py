@@ -82,6 +82,9 @@ class Engine:
         self._running = False
         self._stopped = False
         self._processes: List[Any] = []  # live Process objects (debugging aid)
+        #: Total events executed over the engine's lifetime (all runs);
+        #: the benchmark harness divides this by wall time for events/sec.
+        self.events_executed: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -162,12 +165,17 @@ class Engine:
         self._drop_cancelled()
         if not self._heap:
             return False
+        self._execute_next()
+        return True
+
+    def _execute_next(self) -> None:
+        """Pop and run the head timer (caller has dropped cancelled heads)."""
         timer = heapq.heappop(self._heap)
         self._now = timer.time
         fn, args = timer.fn, timer.args
         timer.cancel()  # free references; marks as consumed
+        self.events_executed += 1
         fn(*args)
-        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the event heap drains, ``until`` is reached, or stopped.
@@ -178,8 +186,9 @@ class Engine:
             Optional virtual-time horizon.  Events scheduled strictly after
             ``until`` are left pending and the clock is advanced to ``until``.
         max_events:
-            Optional safety valve for runaway simulations; raises
-            :class:`SimError` when exceeded.
+            Optional safety valve for runaway simulations: at most
+            ``max_events`` events execute; :class:`SimError` is raised as
+            soon as a further live event is due.
 
         Returns
         -------
@@ -192,19 +201,22 @@ class Engine:
         self._stopped = False
         count = 0
         try:
+            # One heap inspection per iteration: drop cancelled heads once,
+            # read the head's time, pop and execute — rather than paying
+            # peek()'s sweep and then step()'s again for every event.
             while True:
                 if self._stopped:
                     break
-                next_time = self.peek()
-                if next_time is None:
+                self._drop_cancelled()
+                if not self._heap:
                     break
-                if until is not None and next_time > until:
+                if until is not None and self._heap[0].time > until:
                     self._now = float(until)
                     break
-                self.step()
-                count += 1
-                if max_events is not None and count > max_events:
+                if max_events is not None and count >= max_events:
                     raise SimError(f"exceeded max_events={max_events}")
+                self._execute_next()
+                count += 1
         except StopSimulation:
             pass
         finally:

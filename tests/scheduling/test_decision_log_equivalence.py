@@ -1,0 +1,150 @@
+"""Golden decision-log equivalence: optimized engine vs frozen reference.
+
+The PR-2 hot-path rework (incremental slot accounting, insort-maintained
+lists, lazy Figure-3 merge) must not change a single scheduling decision:
+the paper-faithful semantics — including the documented Figure 2/3 quirks
+— are defined by :mod:`repro.scheduling._reference`, and this suite
+proves the optimized :class:`ElasticPolicyEngine` (and its aging and
+preemptive extensions) byte-identical to it across randomized workloads.
+
+Each scenario drives both engines through the same deterministic event
+stream (submissions, completions, substrate rescale failures) and
+compares the full serialized decision sequence plus the final snapshot
+and free-slot accounting.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.scheduling import ElasticPolicyEngine, JobRequest, PolicyConfig, make_policy
+from repro.scheduling._reference import (
+    ReferenceAgingPolicyEngine,
+    ReferenceElasticPolicyEngine,
+    ReferencePreemptivePolicyEngine,
+)
+from repro.scheduling.extensions import AgingPolicyEngine, PreemptivePolicyEngine
+
+POLICIES = ("elastic", "moldable", "min_replicas", "max_replicas")
+SEEDS = tuple(range(20))
+TOTAL_SLOTS = 64
+
+
+def serialize(decision):
+    """A decision as comparable plain data (engines hold distinct jobs)."""
+    extra = tuple(
+        (field, getattr(decision, field))
+        for field in ("replicas", "from_replicas", "to_replicas", "released_replicas")
+        if hasattr(decision, field)
+    )
+    return (type(decision).__name__, decision.job.name, extra)
+
+
+def drive(engine, seed, n_jobs=60):
+    """One randomized workload; returns the serialized decision sequence.
+
+    Every random draw is taken unconditionally or gated only on state the
+    two engines must share (running-list emptiness and contents), so
+    equivalent engines see identical event streams — and a divergence
+    surfaces as a decision-log mismatch.
+    """
+    rng = random.Random(seed)
+    log = []
+    now = 0.0
+    submitted = 0
+    while submitted < n_jobs or engine.running:
+        now += rng.expovariate(1.0 / 120.0)
+        if submitted < n_jobs and (not engine.running or rng.random() < 0.6):
+            low = rng.randint(1, 8)
+            high = min(low + rng.choice((0, 2, 6, 14, 30)), TOTAL_SLOTS)
+            request = JobRequest(
+                name=f"j{submitted}",
+                min_replicas=low,
+                max_replicas=high,
+                priority=rng.randint(1, 5),
+            )
+            log.extend(serialize(d) for d in engine.on_submit(request, now))
+            submitted += 1
+        else:
+            victim = rng.choice([j.name for j in engine.running])
+            log.extend(serialize(d) for d in engine.on_complete(victim, now))
+        if engine.running and rng.random() < 0.15:
+            # Substrate feedback: the operator reverted a rescale.
+            job = rng.choice(engine.running)
+            if job.replicas > job.min_replicas:
+                actual = rng.randint(job.min_replicas, job.replicas)
+                engine.on_rescale_failed(job.name, actual)
+                log.append(("RescaleFailed", job.name, (("replicas", actual),)))
+    return log
+
+
+def assert_equivalent(optimized, reference, seed, n_jobs=60):
+    log_opt = drive(optimized, seed, n_jobs)
+    log_ref = drive(reference, seed, n_jobs)
+    assert log_opt, "workload produced no decisions — scenario is vacuous"
+    assert log_opt == log_ref
+    assert optimized.snapshot() == reference.snapshot()
+    assert optimized.free_slots == reference.free_slots
+    assert [j.name for j in optimized.queue] == [j.name for j in reference.queue]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_elastic_engine_matches_reference(policy, seed):
+    config = make_policy(policy)
+    assert_equivalent(
+        ElasticPolicyEngine(TOTAL_SLOTS, config),
+        ReferenceElasticPolicyEngine(TOTAL_SLOTS, make_policy(policy)),
+        seed,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_preemptive_engine_matches_reference(seed):
+    assert_equivalent(
+        PreemptivePolicyEngine(TOTAL_SLOTS, make_policy("elastic")),
+        ReferencePreemptivePolicyEngine(TOTAL_SLOTS, make_policy("elastic")),
+        seed,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_aging_engine_matches_reference(seed):
+    assert_equivalent(
+        AgingPolicyEngine(TOTAL_SLOTS, make_policy("elastic"), aging_interval=300.0),
+        ReferenceAgingPolicyEngine(
+            TOTAL_SLOTS, make_policy("elastic"), aging_interval=300.0
+        ),
+        seed,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+@pytest.mark.parametrize(
+    "config_kwargs",
+    [
+        {"launcher_slots": 1},
+        {"literal_completion_budget": True},
+        {"rescale_gap": 0.0},
+        {"rescale_gap": math.inf, "launcher_slots": 2},
+    ],
+    ids=["launcher", "literal-budget", "zero-gap", "moldable-launcher"],
+)
+def test_config_deviations_match_reference(config_kwargs, seed):
+    """The documented deviations survive the refactor too."""
+    assert_equivalent(
+        ElasticPolicyEngine(TOTAL_SLOTS, PolicyConfig(**config_kwargs)),
+        ReferenceElasticPolicyEngine(TOTAL_SLOTS, PolicyConfig(**config_kwargs)),
+        seed,
+    )
+
+
+def test_decision_log_gating_does_not_change_decisions():
+    """keep_decision_log=False only empties the log, never the decisions."""
+    logged = ElasticPolicyEngine(TOTAL_SLOTS, make_policy("elastic"))
+    gated = ElasticPolicyEngine(TOTAL_SLOTS, make_policy("elastic"))
+    gated.keep_decision_log = False
+    assert drive(logged, seed=3) == drive(gated, seed=3)
+    assert gated.decision_log == []
+    assert logged.decision_log  # default behaviour unchanged

@@ -171,3 +171,32 @@ class TestCompleteJob:
         engine64.on_submit(req("big", 40, 64), 0.0)
         with pytest.raises(JobStateError):
             engine64.on_rescale_failed("big", 10)
+
+
+class TestRetire:
+    """Streaming substrates drop completed records to bound memory."""
+
+    def test_retire_drops_completed_record(self, engine64):
+        engine64.on_submit(req("a", 2, 8), 0.0)
+        engine64.on_complete("a", 10.0)
+        retired = engine64.retire("a")
+        assert retired.state == JobState.COMPLETED
+        with pytest.raises(JobStateError):
+            engine64.job("a")
+        assert "a" not in engine64.snapshot()
+
+    def test_retire_rejects_live_jobs(self, engine64):
+        engine64.on_submit(req("a", 2, 8), 0.0)
+        with pytest.raises(JobStateError, match="retire"):
+            engine64.retire("a")
+
+    def test_retire_unknown_job_rejected(self, engine64):
+        with pytest.raises(JobStateError, match="unknown"):
+            engine64.retire("ghost")
+
+    def test_retired_name_may_be_resubmitted(self, engine64):
+        engine64.on_submit(req("a", 2, 8), 0.0)
+        engine64.on_complete("a", 10.0)
+        engine64.retire("a")
+        decisions = engine64.on_submit(req("a", 2, 8), 20.0)
+        assert isinstance(decisions[0], StartJob)

@@ -98,6 +98,25 @@ class TestReplicaTimeline:
         assert tl.value_at(10.0) == 8
         assert tl.value_at(-1.0) == 0
 
+    def test_value_at_matches_linear_scan(self):
+        """The bisect path agrees with the original scan, equal times
+        included (co-timed samples resolve to the latest one)."""
+        tl = ReplicaTimeline()
+        for time, replicas in [(0.0, 2), (5.0, 4), (5.0, 6), (9.0, 0)]:
+            tl.record(time, replicas)
+
+        def scan(time):
+            value = 0
+            for t, r in tl.samples:
+                if t > time:
+                    break
+                value = r
+            return value
+
+        for probe in (-1.0, 0.0, 2.5, 5.0, 7.0, 9.0, 100.0):
+            assert tl.value_at(probe) == scan(probe)
+        assert tl.value_at(5.0) == 6
+
 
 def outcome(name, priority, submit, start, completion, replicas):
     tl = ReplicaTimeline()

@@ -71,8 +71,16 @@ def run_workload(events, total_slots=64, rescale_gap=180.0, launcher_slots=0,
 
 
 def assert_invariants(policy, now):
-    # 1. Never over-committed.
+    # 1. Never over-committed — and the incremental used-slot counter
+    #    agrees exactly with a from-scratch re-sum over running jobs.
     assert policy.free_slots >= 0
+    resummed = sum(
+        j.replicas + policy.config.launcher_slots for j in policy.running
+    )
+    assert policy.free_slots == policy.total_slots - resummed
+    # 1b. The queue is sorted by decreasing effective priority too.
+    queue_keys = [(-j.priority, j.submit_time, j.seq) for j in policy.queue]
+    assert queue_keys == sorted(queue_keys)
     # 2. Every running job within its [min, max] bounds.
     for job in policy.running:
         assert job.min_replicas <= job.replicas <= job.max_replicas

@@ -127,6 +127,34 @@ def test_max_events_safety_valve(engine):
         engine.run(max_events=100)
 
 
+def test_max_events_executes_exactly_the_budget(engine):
+    """The valve trips after max_events events, not max_events + 1."""
+    fired = []
+    for i in range(5):
+        engine.schedule(float(i + 1), fired.append, i)
+    with pytest.raises(SimError, match="max_events"):
+        engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_max_events_equal_to_workload_completes(engine):
+    """A run needing exactly max_events events finishes without raising."""
+    fired = []
+    for i in range(3):
+        engine.schedule(float(i + 1), fired.append, i)
+    engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_executed_counter(engine):
+    for i in range(4):
+        engine.schedule(float(i + 1), lambda: None)
+    cancelled = engine.schedule(0.5, lambda: None)
+    cancelled.cancel()
+    engine.run()
+    assert engine.events_executed == 4
+
+
 def test_callbacks_can_schedule_more_events(engine):
     seen = []
 
