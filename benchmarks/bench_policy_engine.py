@@ -13,6 +13,8 @@ Environment knobs: ``REPRO_BENCH_JOBS`` (churn/simulator size, default
 
 import os
 
+import pytest
+
 from benchmarks.conftest import once
 from repro.bench import bench_engine_churn, bench_simulator
 
@@ -55,6 +57,32 @@ def test_engine_speedup_vs_reference(benchmark, save_result):
         "policy_engine_speedup",
         f"{jobs} jobs: optimized {optimized['events_per_sec']:.0f} ev/s vs "
         f"reference {reference['events_per_sec']:.0f} ev/s = {speedup:.1f}x",
+    )
+
+
+@pytest.mark.slow
+def test_engine_churn_100k_holds_10k_throughput(benchmark, save_result):
+    """The PR-3 acceptance shape: 100k-job replay at 10k-job throughput.
+
+    Before the indexed shrink-victim/queue-walk structures the engine
+    collapsed ~8.5x between 10k and 100k jobs (the Figure-3 walk went
+    O(queue) per completion).  The blocked aggregates must keep the two
+    within a small constant of each other.
+    """
+    def measure():
+        return bench_engine_churn(10_000), bench_engine_churn(100_000)
+
+    small, large = once(benchmark, measure)
+    ratio = small["events_per_sec"] / large["events_per_sec"]
+    assert ratio < 2.5, (
+        f"100k churn runs {ratio:.1f}x slower per event than 10k — the "
+        "indexed walks have regressed towards the pre-PR-3 cliff"
+    )
+    save_result(
+        "policy_engine_100k",
+        f"10k: {small['events_per_sec']:.0f} ev/s, "
+        f"100k: {large['events_per_sec']:.0f} ev/s "
+        f"(ratio {ratio:.2f}, must stay < 2.5)",
     )
 
 

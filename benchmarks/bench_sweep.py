@@ -1,0 +1,39 @@
+"""Sweep throughput + trial-cache benchmarks (PR 3 tentpole artifact).
+
+Bounds the cost of the paper's Figure-7/8-shaped grids: cold sweep
+throughput, warm (fully cached) re-run hit rate, and the one-cell-edit
+incremental re-run.  The same measurements back ``repro bench --suite
+sweep`` and the CI ``BENCH_sweep.json`` trajectory; this pytest wrapper
+keeps them in the ``pytest-benchmark`` harness with the other artifacts.
+
+Environment knobs: ``REPRO_BENCH_SWEEP_TRIALS`` (trials per grid cell,
+default 10).
+"""
+
+import os
+
+from benchmarks.conftest import once
+from repro.bench import run_sweep_bench
+
+
+def _trials_from_env(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_BENCH_SWEEP_TRIALS", default))
+
+
+def test_sweep_cache_suite(benchmark, save_result):
+    document = once(benchmark, run_sweep_bench, _trials_from_env())
+    rows = document["results"]
+    # The cache contract, at benchmark scale: a repeated identical sweep
+    # is served (almost) entirely from the store, and a one-value edit
+    # re-simulates exactly one grid column.
+    assert rows["sweep_warm"]["hit_rate"] >= 0.90
+    assert rows["sweep_edit"]["reran_trials"] == rows["sweep_edit"]["expected_reran"]
+    assert rows["sweep_warm"]["speedup_vs_cold"] > 1.0
+    save_result(
+        "sweep_cache",
+        f"cold {rows['sweep_cold']['trials_per_sec']:.0f} trials/s, "
+        f"warm hit rate {rows['sweep_warm']['hit_rate']:.0%} "
+        f"({rows['sweep_warm']['speedup_vs_cold']:.1f}x), "
+        f"edit re-ran {rows['sweep_edit']['reran_trials']}/"
+        f"{rows['sweep_edit']['trials']} trials",
+    )

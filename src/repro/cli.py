@@ -289,14 +289,22 @@ def build_parser() -> argparse.ArgumentParser:
                     "BENCH_*.json results, and optionally fails on "
                     "regression vs a committed baseline.",
     )
-    bench.add_argument("--sizes", default="1000,10000,100000",
-                       help="comma-separated job counts (default: "
-                            "1000,10000,100000)")
-    bench.add_argument("--reference-max", type=int, default=10_000,
+    bench.add_argument("--suite", default="engine",
+                       choices=("engine", "sweep"),
+                       help="'engine' = churn/simulator throughput (default); "
+                            "'sweep' = sweep throughput + trial-cache "
+                            "hit rates (BENCH_sweep.json)")
+    bench.add_argument("--sizes", default=None,
+                       help="comma-separated job counts (engine suite only; "
+                            "default: 1000,10000,100000)")
+    bench.add_argument("--reference-max", type=int, default=None,
                        help="largest size to also run through the frozen "
-                            "pre-optimization reference engine")
-    bench.add_argument("--output", default="BENCH_policy_engine.json",
-                       help="where to write the JSON results ('' to skip)")
+                            "pre-optimization reference engine (engine "
+                            "suite only; default 10000)")
+    bench.add_argument("--output", default=None,
+                       help="where to write the JSON results ('' to skip; "
+                            "default: BENCH_policy_engine.json or "
+                            "BENCH_sweep.json per --suite)")
     bench.add_argument("--baseline", default=None,
                        help="committed BENCH_*.json to gate against; "
                             "non-zero exit on >threshold regression")

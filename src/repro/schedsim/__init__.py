@@ -8,9 +8,11 @@ Public surface::
         run_once, run_trials, compare_policies, TrialStats,
         sweep_submission_gap, sweep_rescale_gap, SweepResult,
         format_policy_table, format_sweep,
+        TrialCache, resolve_trial_cache, code_salt,
     )
 """
 
+from .cache import CACHE_ENV, TrialCache, code_salt, resolve_trial_cache
 from .experiment import (
     DEFAULT_TRIALS,
     TrialStats,
@@ -50,4 +52,8 @@ __all__ = [
     "format_policy_table",
     "format_sweep",
     "METRIC_LABELS",
+    "TrialCache",
+    "resolve_trial_cache",
+    "code_salt",
+    "CACHE_ENV",
 ]

@@ -1,0 +1,238 @@
+"""Content-addressed per-trial result cache for sweeps.
+
+The paper's evaluation grids are embarrassingly repetitive: a Figure-7
+sweep is 4 policies x 7 gaps x 100 seeds = 2800 simulations, and editing
+one grid value — or re-running the same sweep for a plot tweak — used to
+recompute every cell from scratch.  Each trial is a pure function of its
+:func:`~repro.schedsim.experiment.trial_task` tuple ``(policy,
+submission_gap, rescale_gap, seed, total_slots, num_jobs)`` plus the
+simulator code itself, so its :class:`~repro.scheduling.SchedulerMetrics`
+can be cached under a content hash of exactly those inputs (the
+prefix-cache idea from LLM schedulers, applied to scheduler trials):
+
+* **key** — SHA-256 over the canonical JSON of the task tuple and a
+  *code-version salt*;
+* **salt** — SHA-256 over the source bytes of every module that can
+  change a trial's result (``repro.scheduling``, ``repro.schedsim``,
+  ``repro.sim``, ``repro.perfmodel``, ``repro.workloads``, and
+  ``repro.units``), so editing simulator code silently invalidates every
+  stale entry — no manual versioning to forget;
+* **store** — one small JSON file per trial, sharded two-hex-deep under
+  the cache root, written atomically (tmp + rename) so parallel sweeps
+  can share a cache directory.
+
+Enable it by passing ``cache=`` to :func:`run_trials` /
+:func:`compare_policies` / the sweep functions, or globally via the
+``REPRO_SWEEP_CACHE`` environment variable (a directory path; ``0`` /
+``off`` disables).  Deleting the directory is the only "clear" anyone
+needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional, Sequence, Tuple, Union
+
+from ..errors import SchedulingError
+from ..scheduling import SchedulerMetrics
+
+__all__ = ["TrialCache", "code_salt", "resolve_trial_cache", "CACHE_ENV"]
+
+#: Environment override enabling the cache for every sweep in a process.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+#: Subpackages whose source participates in the code-version salt — the
+#: transitive implementation of one simulated trial.
+_SALTED_TREES = ("scheduling", "schedsim", "sim", "perfmodel", "workloads")
+_SALTED_FILES = ("units.py", "errors.py")
+
+_code_salt: Optional[str] = None
+
+
+def code_salt() -> str:
+    """SHA-256 of every source file that can change a trial's result.
+
+    Computed once per process; a one-character edit anywhere in the
+    simulator stack yields a different salt, so every previously cached
+    trial silently misses instead of serving stale metrics.
+    """
+    global _code_salt
+    if _code_salt is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        paths = [os.path.join(package_root, name) for name in _SALTED_FILES]
+        for tree in _SALTED_TREES:
+            for dirpath, dirnames, filenames in os.walk(
+                os.path.join(package_root, tree)
+            ):
+                dirnames.sort()
+                paths.extend(
+                    os.path.join(dirpath, f) for f in filenames if f.endswith(".py")
+                )
+        for path in sorted(paths):
+            try:
+                with open(path, "rb") as handle:
+                    source = handle.read()
+            except OSError:
+                continue
+            digest.update(os.path.relpath(path, package_root).encode())
+            digest.update(b"\0")
+            digest.update(source)
+            digest.update(b"\0")
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+class TrialCache:
+    """On-disk store of per-trial metrics, keyed by content hash."""
+
+    SCHEMA = 1
+
+    def __init__(self, root: Union[str, os.PathLike], salt: Optional[str] = None):
+        self.root = os.fspath(root)
+        self.salt = salt if salt is not None else code_salt()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+
+    def key(self, task: Sequence) -> str:
+        """Content hash of one trial: the task tuple + the code salt.
+
+        Numeric fields are canonicalized to float first so equal-valued
+        tuples hash alike regardless of int/float spelling — ``gaps=(0,
+        150)`` and ``gaps=(0.0, 150.0)`` describe the same trials and
+        must share cache entries.
+        """
+        canonical = [
+            float(field)
+            if isinstance(field, (int, float)) and not isinstance(field, bool)
+            else field
+            for field in task
+        ]
+        document = json.dumps(
+            {"schema": self.SCHEMA, "salt": self.salt, "task": canonical},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(document.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+
+    def get(self, task: Sequence) -> Optional[SchedulerMetrics]:
+        """The cached metrics for ``task``, or None (counted as a miss)."""
+        try:
+            with open(self._path(self.key(task)), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError *and* UnicodeDecodeError:
+            # an entry damaged on disk is a miss, never a sweep abort.
+            self.misses += 1
+            return None
+        try:
+            metrics = SchedulerMetrics(**document["metrics"])
+        except (KeyError, TypeError):
+            # Unreadable entry (e.g. written by a future schema): miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(self, task: Sequence, metrics: SchedulerMetrics) -> None:
+        """Store one trial result atomically (safe for shared caches)."""
+        path = self._path(self.key(task))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        document = {
+            "schema": self.SCHEMA,
+            "task": list(task),
+            "metrics": {
+                "policy": metrics.policy,
+                "total_time": metrics.total_time,
+                "utilization": metrics.utilization,
+                "weighted_mean_response": metrics.weighted_mean_response,
+                "weighted_mean_completion": metrics.weighted_mean_completion,
+                "job_count": metrics.job_count,
+            },
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:  # pragma: no cover - cleanup on exotic filesystems
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> int:
+        """Delete every entry under the cache root; returns the count."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                # .tmp files are writes orphaned by an interrupted put().
+                if name.endswith((".json", ".tmp")):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        if name.endswith(".json"):
+                            removed += 1
+                    except OSError:  # pragma: no cover - concurrent clear
+                        pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrialCache(root={self.root!r}, hits={self.hits}, "
+            f"misses={self.misses}, writes={self.writes})"
+        )
+
+
+def resolve_trial_cache(
+    cache: Union[None, bool, str, os.PathLike, TrialCache] = None,
+) -> Optional[TrialCache]:
+    """Normalize a ``cache=`` argument (or the environment) to a cache.
+
+    ``None`` defers to ``REPRO_SWEEP_CACHE``: unset, empty, ``0`` or
+    ``off`` mean disabled, anything else is the cache directory.  ``False``
+    forces the cache off regardless of the environment; a string/path
+    names the directory; an existing :class:`TrialCache` passes through
+    (so callers can share hit/miss counters across sweeps).
+    """
+    if isinstance(cache, TrialCache):
+        return cache
+    if cache is False:
+        return None
+    if cache is True:
+        raise SchedulingError(
+            "cache=True is ambiguous — pass a directory path, a TrialCache, "
+            f"or set {CACHE_ENV}"
+        )
+    if cache is None:
+        env = os.environ.get(CACHE_ENV, "").strip()
+        if not env or env.lower() in ("0", "off", "none"):
+            return None
+        return TrialCache(env)
+    return TrialCache(cache)

@@ -16,7 +16,8 @@ from .simulator import ScheduleSimulator, SimulationResult
 from .workload import WorkloadSpec, generate_workload
 
 __all__ = ["TrialStats", "run_once", "run_trials", "compare_policies",
-           "DEFAULT_TRIALS", "trial_task", "run_trial_task", "aggregate_trials"]
+           "DEFAULT_TRIALS", "trial_task", "run_trial_task", "run_trial_tasks",
+           "aggregate_trials"]
 
 #: The paper averages 100 random workloads per configuration.
 DEFAULT_TRIALS = 100
@@ -87,6 +88,47 @@ def run_trial_task(task: tuple) -> SchedulerMetrics:
     ).metrics
 
 
+def run_trial_tasks(
+    tasks: List[tuple],
+    workers: Optional[int] = None,
+    cache=None,
+) -> List[SchedulerMetrics]:
+    """Execute trial tasks, order-preserving, cache-aware.
+
+    Every sweep-shaped caller funnels through here: cached trials are
+    answered from the content-addressed store
+    (:mod:`repro.schedsim.cache`), only the misses fan out — serially or
+    across the process pool with per-item (``balanced``) scheduling, so a
+    handful of misses scattered through a mostly-cached grid doesn't
+    serialize behind chunk boundaries — and fresh results are written
+    back.  The returned list matches ``tasks`` index for index, so
+    aggregation is identical whether results came from the cache, the
+    pool, or the serial loop.
+    """
+    from ..workloads.parallel import parallel_map, resolve_workers
+    from .cache import resolve_trial_cache
+
+    store = resolve_trial_cache(cache)
+    results: List[Optional[SchedulerMetrics]] = [None] * len(tasks)
+    if store is not None:
+        for i, task in enumerate(tasks):
+            results[i] = store.get(task)
+    miss_indices = [i for i, found in enumerate(results) if found is None]
+    miss_tasks = [tasks[i] for i in miss_indices]
+    if miss_tasks:
+        if resolve_workers(workers) > 1:
+            fresh = parallel_map(
+                run_trial_task, miss_tasks, workers=workers, balanced=True
+            )
+        else:
+            fresh = [run_trial_task(task) for task in miss_tasks]
+        for i, metrics in zip(miss_indices, fresh):
+            results[i] = metrics
+            if store is not None:
+                store.put(tasks[i], metrics)
+    return results  # type: ignore[return-value]  # every slot now filled
+
+
 def aggregate_trials(policy_name: str, metrics: List[SchedulerMetrics]) -> TrialStats:
     """Average per-trial metrics in list order (the paper's mean-of-100)."""
     n = float(len(metrics))
@@ -109,6 +151,7 @@ def run_trials(
     total_slots: int = 64,
     num_jobs: int = 16,
     workers: Optional[int] = None,
+    cache=None,
 ) -> TrialStats:
     """Average the four metrics over ``trials`` random workloads.
 
@@ -117,19 +160,16 @@ def run_trials(
 
     ``workers`` > 1 fans the trials out across a process pool; results
     come back in seed order and are averaged by the same code as the
-    serial path, so the two produce identical statistics.
+    serial path, so the two produce identical statistics.  ``cache``
+    (or ``REPRO_SWEEP_CACHE``) answers previously-simulated trials from
+    the content-addressed store (:mod:`repro.schedsim.cache`).
     """
-    from ..workloads.parallel import parallel_map, resolve_workers
-
     tasks = [
         trial_task(policy_name, submission_gap, rescale_gap, base_seed + i,
                    total_slots, num_jobs)
         for i in range(trials)
     ]
-    if resolve_workers(workers) > 1:
-        metrics = parallel_map(run_trial_task, tasks, workers=workers)
-    else:
-        metrics = [run_trial_task(task) for task in tasks]
+    metrics = run_trial_tasks(tasks, workers=workers, cache=cache)
     return aggregate_trials(policy_name, metrics)
 
 
@@ -142,34 +182,24 @@ def compare_policies(
     base_seed: int = 0,
     total_slots: int = 64,
     num_jobs: int = 16,
+    cache=None,
 ) -> Dict[str, TrialStats]:
     """One averaged row per policy — the Table-1 simulation columns.
 
     With ``workers`` > 1 (or ``REPRO_WORKERS`` set) the whole policies x
     trials grid runs through one process pool instead of nested serial
-    loops.
+    loops; with a trial cache only the not-yet-simulated cells run at
+    all.  Either way per-trial results and aggregation order match the
+    nested serial loops exactly.
     """
-    from ..workloads.parallel import parallel_map, resolve_workers
-
-    if resolve_workers(workers) > 1:
-        tasks = [
-            trial_task(name, submission_gap, rescale_gap, base_seed + i,
-                       total_slots, num_jobs)
-            for name in policies
-            for i in range(trials)
-        ]
-        metrics = parallel_map(run_trial_task, tasks, workers=workers)
-        return {
-            name: aggregate_trials(
-                name, metrics[p * trials: (p + 1) * trials]
-            )
-            for p, name in enumerate(policies)
-        }
-    return {
-        name: run_trials(
-            name, submission_gap=submission_gap, rescale_gap=rescale_gap,
-            trials=trials, base_seed=base_seed, total_slots=total_slots,
-            num_jobs=num_jobs,
-        )
+    tasks = [
+        trial_task(name, submission_gap, rescale_gap, base_seed + i,
+                   total_slots, num_jobs)
         for name in policies
+        for i in range(trials)
+    ]
+    metrics = run_trial_tasks(tasks, workers=workers, cache=cache)
+    return {
+        name: aggregate_trials(name, metrics[p * trials: (p + 1) * trials])
+        for p, name in enumerate(policies)
     }

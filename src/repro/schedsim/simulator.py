@@ -30,6 +30,7 @@ from ..scheduling import (
     SchedulerMetrics,
     ShrinkJob,
     StartJob,
+    StreamingTimeline,
     compute_metrics,
 )
 from ..scheduling.elastic import ElasticPolicyEngine
@@ -96,7 +97,10 @@ class ScheduleSimulator:
         self.overhead = overhead or RescaleOverheadModel()
         self._running: Dict[str, _RunningJob] = {}
         self._paused: Dict[str, _RunningJob] = {}  # preempted, on disk
-        self._timelines: Dict[str, ReplicaTimeline] = {}
+        # Full sample lists under retain="full"; O(1) streaming busy
+        # integrals under retain="metrics" (set before submissions land).
+        self._timelines: Dict[str, object] = {}
+        self._streaming = False
         self._submissions: Dict[str, Submission] = {}
         self._completed: List[str] = []
         self._submitted_count = 0
@@ -136,6 +140,10 @@ class ScheduleSimulator:
         if retain not in ("full", "metrics"):
             raise SchedulingError(f"unknown retain mode {retain!r}")
         if retain == "metrics":
+            # Streaming timelines fold rescale change-points straight into
+            # a busy-slot integral: three floats per live job instead of a
+            # sample list that grows with its rescale count.
+            self._streaming = True
             self._accumulator = MetricsAccumulator(
                 self.policy.config.name, total_slots=self.total_slots
             )
@@ -197,7 +205,9 @@ class ScheduleSimulator:
         if name in self._submissions:
             raise SchedulingError(f"duplicate job name {name!r} in workload")
         self._submissions[name] = sub
-        self._timelines[name] = ReplicaTimeline()
+        self._timelines[name] = (
+            StreamingTimeline() if self._streaming else ReplicaTimeline()
+        )
         self._submitted_count += 1
 
     def _schedule_next_submission(self) -> bool:

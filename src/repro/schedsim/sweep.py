@@ -17,8 +17,7 @@ from .experiment import (
     DEFAULT_TRIALS,
     TrialStats,
     aggregate_trials,
-    run_trial_task,
-    run_trials,
+    run_trial_tasks,
     trial_task,
 )
 
@@ -68,30 +67,29 @@ def _run_grid(
     base_seed: int = 0,
     total_slots: int = 64,
     num_jobs: int = 16,
+    cache=None,
 ) -> SweepResult:
-    """Run every (cell, trial) simulation and fold into a SweepResult."""
-    from ..workloads.parallel import parallel_map, resolve_workers
+    """Run every (cell, trial) simulation and fold into a SweepResult.
 
+    The whole grid flattens into one task list through
+    :func:`run_trial_tasks`: trials already in the content-addressed
+    cache (``cache=`` or ``REPRO_SWEEP_CACHE``) are answered from disk
+    and only the misses fan out — so re-running an identical sweep is
+    near-free and editing one grid value re-simulates only that cell's
+    trials, with every cell re-aggregated from the per-trial store.
+    """
     result = SweepResult(parameter=parameter, values=list(values))
-    if resolve_workers(workers) > 1:
-        tasks = [
-            trial_task(policy, sub_gap, rescale_gap, base_seed + i,
-                       total_slots, num_jobs)
-            for policy, _value, sub_gap, rescale_gap in cells
-            for i in range(trials)
-        ]
-        metrics = parallel_map(run_trial_task, tasks, workers=workers)
-        per_cell = [
-            aggregate_trials(cell[0], metrics[c * trials: (c + 1) * trials])
-            for c, cell in enumerate(cells)
-        ]
-    else:
-        per_cell = [
-            run_trials(policy, submission_gap=sub_gap, rescale_gap=rescale_gap,
-                       trials=trials, base_seed=base_seed,
-                       total_slots=total_slots, num_jobs=num_jobs)
-            for policy, _value, sub_gap, rescale_gap in cells
-        ]
+    tasks = [
+        trial_task(policy, sub_gap, rescale_gap, base_seed + i,
+                   total_slots, num_jobs)
+        for policy, _value, sub_gap, rescale_gap in cells
+        for i in range(trials)
+    ]
+    metrics = run_trial_tasks(tasks, workers=workers, cache=cache)
+    per_cell = [
+        aggregate_trials(cell[0], metrics[c * trials: (c + 1) * trials])
+        for c, cell in enumerate(cells)
+    ]
     for cell, stats in zip(cells, per_cell):
         result.stats.setdefault(cell[0], []).append(stats)
     return result

@@ -18,6 +18,7 @@ from .metrics import (
     MetricsAccumulator,
     ReplicaTimeline,
     SchedulerMetrics,
+    StreamingTimeline,
     compute_metrics,
 )
 from .policies import DEFAULT_RESCALE_GAP, POLICY_NAMES, make_policy
@@ -47,6 +48,7 @@ __all__ = [
     "EnqueueJob",
     "JobOutcome",
     "ReplicaTimeline",
+    "StreamingTimeline",
     "SchedulerMetrics",
     "compute_metrics",
     "MetricsAccumulator",

@@ -27,22 +27,33 @@ Two deviations (both documented in DESIGN.md §3):
   ``PolicyConfig.literal_completion_budget``, which restores the verbatim
   behaviour for ablation).
 
-Per-event complexity (the PR-2 hot-path contract)
+Per-event complexity (the PR-3 hot-path contract)
 -------------------------------------------------
 
-The engine keeps ``running`` and ``queue`` **permanently sorted** by
-:func:`priority_order_key` (``bisect.insort``) and tracks used slots
-incrementally, so with ``n`` live (running + queued) jobs:
+``running`` and ``queue`` are :class:`~repro.scheduling.joblist
+.IndexedJobList` instances — blocked sorted lists ordered by
+:func:`priority_order_key` whose blocks carry shrink-victim aggregates
+(sum of reclaimable slots, a rescale-gap-eligibility time bound, and the
+cheapest member's ``min_replicas``).  With ``n`` live (running + queued)
+jobs and block size ``B``:
 
 * ``free_slots`` is O(1) — a counter maintained by every transition
   (start/shrink/expand/complete/preempt/rescale-failed), never a re-sum;
-* start/enqueue insert in O(log n) comparisons (plus a C-level memmove);
-* completion removes the finished job in O(log n) and walks Figure 3's
-  ``allJobs`` through a **lazy** two-list merge, consuming only as many
-  candidates as the slot budget survives — no O(n log n) re-sort, no
-  O(n) snapshot allocation;
-* the Figure-2 shrink scan remains O(running) in the worst case, as the
-  algorithm itself demands (it must visit every potential victim).
+* insert/remove cost O(log(n/B) + B) — a block bisect plus a small
+  C-level memmove, replacing the flat list's O(n) shift;
+* the Figure-2 dry-run is an aggregate query: whole running blocks are
+  credited with their ``shrinkable`` sum in O(1) when their time bound
+  proves every member rescale-gap-eligible, so feasibility costs
+  O(running/B) instead of O(running); the real pass skips blocks with no
+  victims and touches only actual victims (plus at most one boundary
+  block scanned item-by-item);
+* completion walks Figure 3's ``allJobs`` as a two-pointer merge in
+  which whole *queue* blocks whose cheapest member cannot start within
+  the remaining slot budget are skipped in O(1) — the budget only
+  shrinks during a walk, so a skipped block can never become startable
+  again.  This removes the O(queue) scan behind the 100k-job throughput
+  cliff: a completion whose budget starts nobody costs O(queue/B), not
+  O(queue).
 
 Decision sequences are **byte-identical** to the preserved pre-
 optimization engine (:mod:`repro.scheduling._reference`); the golden
@@ -57,11 +68,12 @@ by the live-job count instead of the workload length.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+import heapq
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CapacityError, JobStateError
 from .job import JobRequest, JobState, SchedulerJob, priority_order_key
+from .joblist import IndexedJobList
 from .policy import (
     Decision,
     EnqueueJob,
@@ -72,19 +84,6 @@ from .policy import (
 )
 
 __all__ = ["ElasticPolicyEngine"]
-
-
-def _sorted_remove(jobs: List[SchedulerJob], job: SchedulerJob) -> None:
-    """Remove ``job`` from a list sorted by :func:`priority_order_key`.
-
-    O(log n) comparisons via bisect; the key is unique (``seq`` tie-break)
-    and immutable after submission, so the probe lands exactly on the job.
-    """
-    index = bisect_left(jobs, priority_order_key(job), key=priority_order_key)
-    if index < len(jobs) and jobs[index] is job:
-        del jobs[index]
-    else:  # pragma: no cover - defensive against key tampering
-        jobs.remove(job)
 
 
 class ElasticPolicyEngine:
@@ -100,8 +99,8 @@ class ElasticPolicyEngine:
             raise CapacityError("total_slots must be positive")
         self.total_slots = int(total_slots)
         self.config = config or PolicyConfig()
-        self.running: List[SchedulerJob] = []  # decreasing priority order
-        self.queue: List[SchedulerJob] = []  # decreasing priority order
+        self.running = IndexedJobList()  # decreasing priority order
+        self.queue = IndexedJobList()  # decreasing priority order
         self._jobs: Dict[str, SchedulerJob] = {}
         self.decision_log: List[Decision] = []
         #: Streaming substrates set this False so the log stays empty and
@@ -110,9 +109,9 @@ class ElasticPolicyEngine:
         #: Slots held by running jobs (workers + launcher reservations),
         #: maintained incrementally by every transition.
         self._used_slots: int = 0
-        # During on_complete's lazy candidate walk, queue→running moves are
-        # recorded here and applied after the walk (the merge iterator must
-        # not see structural mutations mid-flight).
+        # During the Figure-3 walk, queue→running moves are recorded here
+        # and applied after the walk (the walk's block pointers must not
+        # see structural mutations mid-flight).
         self._pending_starts: Optional[List[SchedulerJob]] = None
 
     # ------------------------------------------------------------------
@@ -141,31 +140,15 @@ class ElasticPolicyEngine:
         return list(self._candidates_by_priority())
 
     def _candidates_by_priority(self) -> Iterator[SchedulerJob]:
-        """Lazy merge of the two sorted lists in decreasing priority.
+        """Lazy merge of the two sorted sequences in decreasing priority.
 
-        Both lists are permanently sorted by :func:`priority_order_key`
-        with unique keys, so a two-pointer merge reproduces exactly what
+        Both are permanently sorted by :func:`priority_order_key` with
+        unique keys, so the merge reproduces exactly what
         ``sorted(running + queue)`` used to build — without materializing
         it.  Callers must not structurally mutate ``running``/``queue``
-        while consuming the iterator (``on_complete`` defers its moves via
-        ``_pending_starts``).
+        while consuming the iterator.
         """
-        run, que = self.running, self.queue
-        i = j = 0
-        len_run, len_que = len(run), len(que)
-        while i < len_run and j < len_que:
-            if priority_order_key(run[i]) < priority_order_key(que[j]):
-                yield run[i]
-                i += 1
-            else:
-                yield que[j]
-                j += 1
-        while i < len_run:
-            yield run[i]
-            i += 1
-        while j < len_que:
-            yield que[j]
-            j += 1
+        return heapq.merge(self.running, self.queue, key=priority_order_key)
 
     # ------------------------------------------------------------------
     # Event: new job submitted (Figure 2)
@@ -178,7 +161,6 @@ class ElasticPolicyEngine:
         job = SchedulerJob(request=request, submit_time=now)
         self._jobs[job.name] = job
         reserve = self.config.launcher_slots
-        gap = self.config.rescale_gap
         decisions: List[Decision] = []
 
         # replicas = min(freeSlots - 1, job.maxReplicas)
@@ -188,47 +170,19 @@ class ElasticPolicyEngine:
             return self._log(decisions)
 
         # Dry run: would shrinking lower-priority jobs free enough slots to
-        # reach the new job's minimum?
+        # reach the new job's minimum?  (An aggregate query over the
+        # running blocks — no per-candidate walk on the common path.)
         num_to_free = job.min_replicas - (self.free_slots - reserve)
-        index = len(self.running) - 1
-        while num_to_free > 0 and index > 0:
-            candidate = self.running[index]
-            index -= 1
-            if now - candidate.last_action < gap:
-                continue
-            if candidate.priority > job.priority:
-                break
-            if candidate.replicas > candidate.min_replicas:
-                new_replicas = max(
-                    candidate.min_replicas, candidate.replicas - num_to_free
-                )
-                num_to_free -= candidate.replicas - new_replicas
-        if num_to_free > 0:
+        if not self._shrink_feasible(job, now, num_to_free):
             decisions.append(self._enqueue(job))
             return self._log(decisions)
 
         # Real pass: shrink towards freeing up to maxReplicas' worth.
         min_to_free = job.min_replicas - (self.free_slots - reserve)
         max_to_free = job.max_replicas - (self.free_slots - reserve)
-        index = len(self.running) - 1
-        while max_to_free > 0 and index > 0:
-            candidate = self.running[index]
-            index -= 1
-            if now - candidate.last_action < gap:
-                continue
-            if candidate.priority > job.priority:
-                break
-            if candidate.replicas > candidate.min_replicas:
-                new_replicas = max(
-                    candidate.min_replicas, candidate.replicas - max_to_free
-                )
-                old_replicas = candidate.replicas
-                shrink = self._shrink(candidate, new_replicas, now)
-                if shrink is not None:
-                    decisions.append(shrink)
-                    freed = old_replicas - new_replicas
-                    min_to_free -= freed
-                    max_to_free -= freed
+        min_to_free = self._shrink_victims(
+            job, now, min_to_free, max_to_free, decisions
+        )
         if min_to_free > 0:
             decisions.append(self._enqueue(job))
             return self._log(decisions)
@@ -236,6 +190,118 @@ class ElasticPolicyEngine:
         replicas = min(self.free_slots - reserve, job.max_replicas)
         decisions.append(self._start(job, replicas, now))
         return self._log(decisions)
+
+    # ------------------------------------------------------------------
+    # Figure 2's shrink-victim walk, indexed
+    # ------------------------------------------------------------------
+    #
+    # The literal walk visits running jobs from lowest priority upward
+    # (positions len-1 .. 1; the index-0 job is protected), skipping
+    # candidates inside their T_rescale_gap, and stops at the first
+    # *eligible* candidate that outranks the arrival.  Because the list
+    # is sorted, that stop is equivalent to "no further victims exist" —
+    # which is what lets whole blocks be credited or skipped from their
+    # aggregates without changing a single decision.
+
+    def _shrink_feasible(self, job: SchedulerJob, now: float, num_to_free: int) -> bool:
+        """Figure 2's dry run: could shrinking free ``num_to_free`` slots?
+
+        Pure query — no state is touched.  Blocks whose time bound proves
+        every member rescale-gap-eligible are resolved in O(1): credited
+        with their ``shrinkable`` sum when the whole block ranks at or
+        below the arrival, or terminating the walk when even their
+        lowest-priority member outranks it.  Mixed or possibly-ineligible
+        blocks fall back to the literal item scan.
+        """
+        gap = self.config.rescale_gap
+        priority = job.priority
+        blocks = self.running.blocks
+        for b in range(len(blocks) - 1, -1, -1):
+            block = blocks[b]
+            jobs = block.jobs
+            lo = 1 if b == 0 else 0  # the index-0 job is never a victim
+            if lo >= len(jobs):
+                continue  # only the protected job in here
+            if now - block.newest_action >= gap:
+                if jobs[-1].priority > priority:
+                    # First candidate visited is eligible and outranks the
+                    # arrival: the literal walk breaks here.
+                    return False
+                if jobs[lo].priority <= priority:
+                    # Every visitable member ranks at or below the arrival:
+                    # credit the whole block (minus the protected job's
+                    # share in block 0) without touching its members.
+                    credit = block.shrinkable
+                    if lo:
+                        extra = jobs[0].replicas - jobs[0].min_replicas
+                        if extra > 0:
+                            credit -= extra
+                    num_to_free -= credit
+                    if num_to_free <= 0:
+                        return True
+                    continue
+            for i in range(len(jobs) - 1, lo - 1, -1):
+                candidate = jobs[i]
+                if now - candidate.last_action < gap:
+                    continue
+                if candidate.priority > priority:
+                    return False
+                extra = candidate.replicas - candidate.min_replicas
+                if extra > 0:
+                    num_to_free -= extra
+                    if num_to_free <= 0:
+                        return True
+        return num_to_free <= 0
+
+    def _shrink_victims(
+        self,
+        job: SchedulerJob,
+        now: float,
+        min_to_free: int,
+        max_to_free: int,
+        decisions: List[Decision],
+    ) -> int:
+        """Figure 2's real pass: emit shrinks towards ``max_to_free``.
+
+        Walks the same order as the literal loop but skips whole blocks
+        that provably contain neither a victim (``shrinkable == 0``) nor
+        the walk's stop condition (no member outranks the arrival).
+        Returns the still-unmet part of ``min_to_free``.
+        """
+        gap = self.config.rescale_gap
+        priority = job.priority
+        blocks = self.running.blocks
+        for b in range(len(blocks) - 1, -1, -1):
+            if max_to_free <= 0:
+                break
+            block = blocks[b]
+            jobs = block.jobs
+            lo = 1 if b == 0 else 0
+            if lo < len(jobs):
+                if now - block.newest_action >= gap and jobs[-1].priority > priority:
+                    return min_to_free  # the literal walk breaks immediately
+                if block.shrinkable == 0 and jobs[lo].priority <= priority:
+                    continue  # no victims and no stop condition in here
+            for i in range(len(jobs) - 1, lo - 1, -1):
+                if max_to_free <= 0:
+                    break
+                candidate = jobs[i]
+                if now - candidate.last_action < gap:
+                    continue
+                if candidate.priority > priority:
+                    return min_to_free
+                if candidate.replicas > candidate.min_replicas:
+                    new_replicas = max(
+                        candidate.min_replicas, candidate.replicas - max_to_free
+                    )
+                    old_replicas = candidate.replicas
+                    shrink = self._shrink(candidate, new_replicas, now)
+                    if shrink is not None:
+                        decisions.append(shrink)
+                        freed = old_replicas - new_replicas
+                        min_to_free -= freed
+                        max_to_free -= freed
+        return min_to_free
 
     # ------------------------------------------------------------------
     # Event: job finished (Figure 3)
@@ -248,7 +314,7 @@ class ElasticPolicyEngine:
         # freeWorkers(job): release the job's pods.
         job.state = JobState.COMPLETED
         job.completion_time = now
-        _sorted_remove(self.running, job)
+        self.running.remove(job)
         freed = job.replicas + self.config.launcher_slots
         self._used_slots -= freed
         job.replicas = 0
@@ -260,34 +326,126 @@ class ElasticPolicyEngine:
             # (this completion plus leftovers from earlier events).
             num_workers = self.free_slots
 
-        reserve = self.config.launcher_slots
-        gap = self.config.rescale_gap
         decisions: List[Decision] = []
         self._pending_starts = []
         try:
-            for candidate in self._candidates_by_priority():
-                if num_workers <= 0:
-                    break
-                if now - candidate.last_action < gap:
-                    continue
-                if candidate.replicas < candidate.max_replicas:
-                    add = min(num_workers, candidate.max_replicas - candidate.replicas)
-                    if candidate.state == JobState.QUEUED:
-                        # Starting a queued job also needs its launcher slot.
-                        add = min(num_workers - reserve, candidate.max_replicas)
-                        if add >= candidate.min_replicas:
-                            decisions.append(self._start_queued(candidate, add, now))
-                            num_workers -= add + reserve
-                    elif candidate.replicas + add >= candidate.min_replicas:
-                        decisions.append(self._expand(candidate, candidate.replicas + add, now))
-                        num_workers -= add
+            self._redistribute(num_workers, now, decisions)
         finally:
             started, self._pending_starts = self._pending_starts, None
             for moved in started:
-                _sorted_remove(self.queue, moved)
-                insort(self.running, moved, key=priority_order_key)
+                self.queue.remove(moved)
+                self.running.add(moved)
         # Remaining freed workers return to the free pool implicitly.
         return self._log(decisions)
+
+    def _redistribute(
+        self, num_workers: int, now: float, decisions: List[Decision]
+    ) -> None:
+        """Figure 3's hand-out of freed slots — indexed two-pointer merge.
+
+        Running candidates are visited one by one (their count is bounded
+        by ``total_slots``); on the queue side, whole blocks whose
+        cheapest member needs more than the remaining start budget are
+        skipped in O(1).  The budget only shrinks during a walk, so a
+        skipped queued candidate can never become startable later — the
+        emitted decision sequence is exactly the literal scan's
+        (:meth:`_redistribute_scan`, which time-dependent-priority
+        subclasses still use).
+        """
+        reserve = self.config.launcher_slots
+        gap = self.config.rescale_gap
+        qblocks = self.queue.blocks
+        qb = qi = 0
+        run_iter = iter(self.running)
+        runner = next(run_iter, None)
+        runner_key = priority_order_key(runner) if runner is not None else None
+        queued = None  # cached next startable queued candidate (+ its key)
+        queued_key = None
+        while num_workers > 0:
+            # Next queued candidate startable within the remaining budget.
+            # The cached one stays valid until consumed or priced out by a
+            # budget drop (the budget never grows during a walk).
+            budget = num_workers - reserve
+            if queued is not None and queued.request.min_replicas > budget:
+                queued = None
+            while queued is None and qb < len(qblocks):
+                block = qblocks[qb]
+                if block.min_needed > budget:
+                    qb += 1
+                    qi = 0
+                    continue
+                jobs = block.jobs
+                while qi < len(jobs):
+                    candidate = jobs[qi]
+                    if candidate.request.min_replicas <= budget:
+                        queued = candidate
+                        queued_key = priority_order_key(candidate)
+                        break
+                    qi += 1
+                if queued is None:
+                    qb += 1
+                    qi = 0
+            if runner is None and queued is None:
+                break
+            if queued is None or (runner is not None and runner_key < queued_key):
+                candidate = runner
+                if (
+                    now - candidate.last_action >= gap
+                    and candidate.replicas < candidate.max_replicas
+                ):
+                    add = min(num_workers, candidate.max_replicas - candidate.replicas)
+                    if candidate.replicas + add >= candidate.min_replicas:
+                        decisions.append(
+                            self._expand(candidate, candidate.replicas + add, now)
+                        )
+                        num_workers -= add
+                runner = next(run_iter, None)
+                runner_key = (
+                    priority_order_key(runner) if runner is not None else None
+                )
+            else:
+                candidate = queued
+                queued = None
+                qi += 1  # the walk moves past this candidate either way
+                if (
+                    now - candidate.last_action >= gap
+                    and candidate.replicas < candidate.max_replicas
+                ):
+                    # Starting a queued job also needs its launcher slot.
+                    add = min(num_workers - reserve, candidate.max_replicas)
+                    if add >= candidate.min_replicas:
+                        decisions.append(self._start_queued(candidate, add, now))
+                        num_workers -= add + reserve
+
+    def _redistribute_scan(
+        self, num_workers: int, now: float, decisions: List[Decision]
+    ) -> None:
+        """The literal Figure-3 scan over :meth:`_candidates_by_priority`.
+
+        Kept as the reference shape of the walk — and as the live path
+        for subclasses whose candidate order is time-dependent (aging),
+        where block aggregates keyed on static priority cannot apply.
+        """
+        reserve = self.config.launcher_slots
+        gap = self.config.rescale_gap
+        for candidate in self._candidates_by_priority():
+            if num_workers <= 0:
+                break
+            if now - candidate.last_action < gap:
+                continue
+            if candidate.replicas < candidate.max_replicas:
+                add = min(num_workers, candidate.max_replicas - candidate.replicas)
+                if candidate.state == JobState.QUEUED:
+                    # Starting a queued job also needs its launcher slot.
+                    add = min(num_workers - reserve, candidate.max_replicas)
+                    if add >= candidate.min_replicas:
+                        decisions.append(self._start_queued(candidate, add, now))
+                        num_workers -= add + reserve
+                elif candidate.replicas + add >= candidate.min_replicas:
+                    decisions.append(
+                        self._expand(candidate, candidate.replicas + add, now)
+                    )
+                    num_workers -= add
 
     # ------------------------------------------------------------------
     # Substrate feedback
@@ -304,8 +462,10 @@ class ElasticPolicyEngine:
         if job.state != JobState.RUNNING:
             raise JobStateError(f"job {name!r} is not running")
         actual = int(actual_replicas)
+        old = job.replicas
         self._used_slots += actual - job.replicas
         job.replicas = actual
+        self.running.adjust_replicas(job, old)
         if self.free_slots < 0:  # pragma: no cover - defensive
             raise CapacityError("rescale failure reconciliation over-committed")
 
@@ -341,22 +501,27 @@ class ElasticPolicyEngine:
 
     def _start(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
         start = self._activate(job, replicas, now)
-        insort(self.running, job, key=priority_order_key)
+        self.running.add(job)
         return start
 
     def _start_queued(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
         if self._pending_starts is not None:
             # Mid-walk in on_complete: defer the queue→running move so the
-            # lazy merge iterator never sees a structural mutation.
+            # walk's block pointers never see a structural mutation.  The
+            # queue's aggregates still track the in-place activation so
+            # the deferred remove() stays exact.
+            before = job.replicas
+            start = self._activate(job, replicas, now)
+            self.queue.rescaled(job, before)
             self._pending_starts.append(job)
-            return self._activate(job, replicas, now)
-        _sorted_remove(self.queue, job)
+            return start
+        self.queue.remove(job)
         return self._start(job, replicas, now)
 
     def _enqueue(self, job: SchedulerJob) -> EnqueueJob:
         # NOTE: lastAction deliberately untouched (see module docstring).
         job.state = JobState.QUEUED
-        insort(self.queue, job, key=priority_order_key)
+        self.queue.add(job)
         return EnqueueJob(job=job)
 
     def _shrink(self, job: SchedulerJob, new_replicas: int, now: float) -> Optional[ShrinkJob]:
@@ -369,6 +534,7 @@ class ElasticPolicyEngine:
         job.last_action = now
         job.rescale_count += 1
         self._used_slots -= old - new_replicas
+        self.running.rescaled(job, old)
         return ShrinkJob(job=job, from_replicas=old, to_replicas=new_replicas)
 
     def _expand(self, job: SchedulerJob, new_replicas: int, now: float) -> ExpandJob:
@@ -378,6 +544,7 @@ class ElasticPolicyEngine:
         job.last_action = now
         job.rescale_count += 1
         self._used_slots += new_replicas - old
+        self.running.rescaled(job, old)
         return ExpandJob(job=job, from_replicas=old, to_replicas=new_replicas)
 
     def _validate_capacity(self, extra_slots: int) -> None:

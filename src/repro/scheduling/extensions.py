@@ -16,12 +16,12 @@ system is untouched when these classes are not used.
 from __future__ import annotations
 
 import math
-from bisect import insort
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterator, List, Optional
 
-from .elastic import ElasticPolicyEngine, _sorted_remove
-from .job import JobState, SchedulerJob, priority_order_key
+from .elastic import ElasticPolicyEngine
+from .job import JobState, SchedulerJob
 from .policy import Decision, EnqueueJob, PolicyConfig, StartJob
 
 __all__ = ["AgingPolicyEngine", "PreemptivePolicyEngine", "PreemptJob",
@@ -73,6 +73,12 @@ class AgingPolicyEngine(ElasticPolicyEngine):
         # lazy static-key merge does not apply: aging keeps the O(n log n)
         # snapshot sort (queues under aging are completion-ordered anyway).
         return iter(self.jobs_by_priority())
+
+    def _redistribute(self, num_workers, now, decisions):
+        # The base engine's indexed Figure-3 walk skips queue blocks from
+        # aggregates keyed on *static* priority order; aged queues are
+        # ordered by effective priority, so aging keeps the literal scan.
+        self._redistribute_scan(num_workers, now, decisions)
 
     # The base on_complete calls jobs_by_priority() with no argument; stash
     # the event time so the aged ordering is computed against it.
@@ -132,7 +138,7 @@ class PreemptivePolicyEngine(ElasticPolicyEngine):
         if not preemptions:
             return decisions
         # The arrival now fits: pull it back out of the queue and start it.
-        _sorted_remove(self.queue, job)
+        self.queue.remove(job)
         replicas = min(
             self.free_slots - self.config.launcher_slots, job.max_replicas
         )
@@ -144,7 +150,11 @@ class PreemptivePolicyEngine(ElasticPolicyEngine):
         needed = job.min_replicas - (self.free_slots - reserve)
         victims: List[SchedulerJob] = []
         freed = 0
-        for candidate in reversed(self.running[1:]):  # index-0 protected
+        # Lowest priority first, index-0 protected; islice over the lazy
+        # reverse iterator stops before the head without materializing
+        # the whole running list on every preemption attempt.
+        protected = islice(reversed(self.running), max(0, len(self.running) - 1))
+        for candidate in protected:
             if freed >= needed:
                 break
             if candidate.priority >= job.priority:
@@ -155,14 +165,14 @@ class PreemptivePolicyEngine(ElasticPolicyEngine):
             return []
         decisions: List[Decision] = []
         for victim in victims:
-            _sorted_remove(self.running, victim)
+            self.running.remove(victim)
             released = victim.replicas
             self._used_slots -= released + reserve
             victim.replicas = 0
             victim.state = JobState.QUEUED
             victim.last_action = now
             self.preempted.add(victim.name)
-            insort(self.queue, victim, key=priority_order_key)
+            self.queue.add(victim)
             decisions.append(PreemptJob(job=victim, released_replicas=released))
         return decisions
 

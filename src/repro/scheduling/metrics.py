@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SchedulingError
 from ..units import format_duration
@@ -24,6 +24,7 @@ __all__ = [
     "SchedulerMetrics",
     "compute_metrics",
     "ReplicaTimeline",
+    "StreamingTimeline",
     "MetricsAccumulator",
 ]
 
@@ -63,6 +64,93 @@ class ReplicaTimeline:
         index = bisect_right(self.samples, time, key=lambda s: s[0])
         return self.samples[index - 1][1] if index else 0
 
+    def average(self, until: Optional[float] = None) -> float:
+        """Mean replica count from the first sample to ``until``.
+
+        ``until`` defaults to the last sample's time.  An empty timeline
+        — or a degenerate window (``until`` at or before the first
+        sample, including a single-sample timeline with no explicit
+        ``until``) — averages to 0.0 rather than dividing by zero.
+        """
+        if not self.samples:
+            return 0.0
+        begin = self.samples[0][0]
+        if until is None:
+            until = self.samples[-1][0]
+        span = until - begin
+        if span <= 0:
+            return 0.0
+        return self.slot_seconds(until) / span
+
+
+class StreamingTimeline:
+    """O(1)-memory stand-in for :class:`ReplicaTimeline` under streaming.
+
+    Records the same ``(time, replicas)`` change-points but folds them
+    straight into a running busy-slot integral instead of materializing a
+    sample list, so a ``retain="metrics"`` simulation holds three floats
+    per live job regardless of how often it rescales.  Change-points are
+    deduplicated and the integral terms accumulated in exactly the order
+    :meth:`ReplicaTimeline.slot_seconds` would sum them, so the two paths
+    produce bit-identical utilization numbers.
+    """
+
+    __slots__ = ("_time", "_replicas", "_busy", "_started")
+
+    def __init__(self) -> None:
+        self._time = 0.0
+        self._replicas = 0
+        self._busy = 0.0
+        self._started = False
+
+    def record(self, time: float, replicas: int) -> None:
+        if not self._started:
+            self._time = time
+            self._replicas = replicas
+            self._started = True
+            return
+        if time < self._time:
+            raise SchedulingError("replica timeline must be monotonic in time")
+        if replicas == self._replicas:
+            return  # same dedupe rule as ReplicaTimeline.record
+        self._busy += self._replicas * (time - self._time)
+        self._time = time
+        self._replicas = replicas
+
+    def slot_seconds(self, until: float) -> float:
+        """Integral of replicas over time up to ``until``.
+
+        Unlike the sample-list reduction this cannot integrate into the
+        past; streaming callers always ask at (or after) the last
+        recorded change-point — the job's completion time.
+        """
+        if not self._started:
+            return 0.0
+        if until < self._time:
+            raise SchedulingError(
+                "StreamingTimeline cannot integrate before its last "
+                f"change-point ({until} < {self._time})"
+            )
+        return self._busy + self._replicas * (until - self._time)
+
+    def value_at(self, time: float) -> int:
+        """Current replica count (only the live change-point is kept).
+
+        History is gone by design, so — like :meth:`slot_seconds` — a
+        query before the live change-point fails loudly rather than
+        silently reporting 0 where :class:`ReplicaTimeline` would have
+        returned the historical step value.
+        """
+        if not self._started:
+            return 0
+        if time < self._time:
+            raise SchedulingError(
+                "StreamingTimeline cannot answer before its last "
+                f"change-point ({time} < {self._time}); use retain='full' "
+                "for historical sampling"
+            )
+        return self._replicas
+
 
 @dataclass
 class JobOutcome:
@@ -73,7 +161,11 @@ class JobOutcome:
     submit_time: float
     start_time: float
     completion_time: float
-    timeline: ReplicaTimeline = field(default_factory=ReplicaTimeline)
+    #: Either the full sample list or its streaming stand-in — both
+    #: expose ``slot_seconds``/``value_at``, which is all metrics need.
+    timeline: Union[ReplicaTimeline, "StreamingTimeline"] = field(
+        default_factory=ReplicaTimeline
+    )
     size_class: Optional[str] = None
     rescale_count: int = 0
 

@@ -52,6 +52,7 @@ def parallel_map(
     items: Sequence[T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    balanced: bool = False,
 ) -> List[R]:
     """``[fn(x) for x in items]`` across a process pool, order-preserving.
 
@@ -60,14 +61,20 @@ def parallel_map(
     plain list comprehension — no pool, no pickling, same results —
     which is also the fallback if the platform cannot spawn processes
     (e.g. a sandbox without a working semaphore implementation).
+
+    ``balanced=True`` switches from chunked ``pool.map`` to per-item
+    ``submit`` scheduling.  Chunking amortizes IPC but pre-assigns items
+    to workers in fixed runs: with heterogeneous per-item costs (sweep
+    cells at different scales, cache-miss trials next to instant hits) a
+    chunk of expensive items serializes at the end of the run while other
+    workers idle.  Submit-based scheduling hands out one item at a time,
+    so the long tail spreads across the pool; results still come back in
+    submission order, bit-identical to the serial path.
     """
     items = list(items)
     workers = min(resolve_workers(workers), len(items)) if items else 1
     if workers <= 1:
         return [fn(item) for item in items]
-    if chunksize is None:
-        # ~4 chunks per worker balances load without drowning in IPC.
-        chunksize = max(1, len(items) // (workers * 4))
     try:
         pool = ProcessPoolExecutor(max_workers=workers)
     except OSError:  # pragma: no cover - platform without process support
@@ -75,4 +82,10 @@ def parallel_map(
     # Errors raised by fn itself propagate: they are the caller's bug,
     # not a platform quirk, and must not trigger a silent serial re-run.
     with pool:
+        if balanced:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+        if chunksize is None:
+            # ~4 chunks per worker balances load without drowning in IPC.
+            chunksize = max(1, len(items) // (workers * 4))
         return list(pool.map(fn, items, chunksize=chunksize))

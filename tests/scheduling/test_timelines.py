@@ -1,0 +1,116 @@
+"""Timeline edge cases and the streaming busy-integral accumulator.
+
+PR-3 satellite: ``ReplicaTimeline.value_at``/``average`` edge cases
+(empty timeline, single sample, query before the first sample) and the
+incremental :class:`StreamingTimeline` matching the post-hoc sample-list
+reduction on random timelines — bit for bit, since the streaming
+simulator path relies on it.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import ReplicaTimeline, StreamingTimeline
+
+
+class TestReplicaTimelineEdges:
+    def test_empty_timeline(self):
+        timeline = ReplicaTimeline()
+        assert timeline.value_at(0.0) == 0
+        assert timeline.value_at(1e9) == 0
+        assert timeline.average() == 0.0
+        assert timeline.slot_seconds(100.0) == 0.0
+
+    def test_single_sample(self):
+        timeline = ReplicaTimeline()
+        timeline.record(10.0, 4)
+        assert timeline.value_at(10.0) == 4
+        assert timeline.value_at(25.0) == 4  # holds until the next sample
+        # No explicit window: a single change-point spans zero time.
+        assert timeline.average() == 0.0
+        assert timeline.average(until=20.0) == 4.0
+
+    def test_query_before_first_sample(self):
+        timeline = ReplicaTimeline()
+        timeline.record(10.0, 4)
+        timeline.record(20.0, 8)
+        assert timeline.value_at(9.999) == 0
+        assert timeline.average(until=5.0) == 0.0  # degenerate window
+
+    def test_equal_time_samples_resolve_to_latest(self):
+        timeline = ReplicaTimeline()
+        timeline.record(10.0, 4)
+        timeline.record(10.0, 6)
+        assert timeline.value_at(10.0) == 6
+
+    def test_average_over_step_function(self):
+        timeline = ReplicaTimeline()
+        timeline.record(0.0, 2)
+        timeline.record(10.0, 6)
+        timeline.record(20.0, 0)
+        # 2 for 10 s, 6 for 10 s → mean 4 over [0, 20].
+        assert timeline.average() == pytest.approx(4.0)
+        assert timeline.average(until=40.0) == pytest.approx(2.0)
+
+    def test_monotonicity_enforced(self):
+        timeline = ReplicaTimeline()
+        timeline.record(10.0, 4)
+        with pytest.raises(SchedulingError, match="monotonic"):
+            timeline.record(9.0, 2)
+
+
+class TestStreamingTimeline:
+    def test_empty(self):
+        streaming = StreamingTimeline()
+        assert streaming.slot_seconds(50.0) == 0.0
+        assert streaming.value_at(50.0) == 0
+
+    def test_monotonicity_enforced(self):
+        streaming = StreamingTimeline()
+        streaming.record(10.0, 4)
+        with pytest.raises(SchedulingError, match="monotonic"):
+            streaming.record(9.0, 2)
+
+    def test_cannot_integrate_into_the_past(self):
+        streaming = StreamingTimeline()
+        streaming.record(10.0, 4)
+        streaming.record(20.0, 0)
+        with pytest.raises(SchedulingError, match="change-point"):
+            streaming.slot_seconds(15.0)
+
+    def test_value_at_tracks_live_change_point(self):
+        streaming = StreamingTimeline()
+        streaming.record(10.0, 4)
+        assert streaming.value_at(12.0) == 4
+        # History is dropped by design: asking for it fails loudly
+        # instead of silently reporting 0 like a plausible sample.
+        with pytest.raises(SchedulingError, match="change-point"):
+            streaming.value_at(5.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_posthoc_reduction_on_random_timelines(self, seed):
+        """The streaming integral must be *bit-identical* to the sample
+        list's ``slot_seconds`` at the final change-point — same terms,
+        same order, same dedupe — on arbitrary rescale histories."""
+        rng = random.Random(seed)
+        full = ReplicaTimeline()
+        streaming = StreamingTimeline()
+        now = rng.uniform(0.0, 100.0)
+        replicas = rng.randint(1, 32)
+        full.record(now, replicas)
+        streaming.record(now, replicas)
+        for _ in range(rng.randint(1, 200)):
+            now += rng.choice((0.0, rng.expovariate(1 / 40.0)))
+            # Duplicates included on purpose: both sides must dedupe alike.
+            replicas = rng.choice((replicas, 0, rng.randint(1, 32)))
+            full.record(now, replicas)
+            streaming.record(now, replicas)
+        # Close out like the simulator does: a final zero at completion.
+        now += rng.expovariate(1 / 40.0)
+        full.record(now, 0)
+        streaming.record(now, 0)
+        assert streaming.slot_seconds(now) == full.slot_seconds(now)
+        later = now + rng.uniform(0.0, 50.0)
+        assert streaming.slot_seconds(later) == full.slot_seconds(later)

@@ -33,6 +33,23 @@ class TestParallelMap:
         assert os.getpid() not in pids  # work really left this process
         assert len(pids) >= 2
 
+    def test_balanced_preserves_order_and_results(self):
+        # Submit-based scheduling (one item per dispatch, for
+        # heterogeneous costs) must stay bit-identical to serial.
+        items = list(range(29))
+        assert parallel_map(_square, items, workers=3, balanced=True) == [
+            x * x for x in items
+        ]
+
+    def test_balanced_spreads_across_processes(self):
+        pids = set(parallel_map(_worker_pid, list(range(16)), workers=2,
+                                balanced=True))
+        assert os.getpid() not in pids
+        assert len(pids) >= 2
+
+    def test_balanced_serial_fallback(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1, balanced=True) == [1, 4, 9]
+
     def test_resolve_workers(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers(4) == 4
@@ -80,6 +97,16 @@ class TestEquivalence:
         assert serial.policies() == parallel.policies()
         for policy in serial.stats:
             assert serial.stats[policy] == parallel.stats[policy]
+
+    def test_sweep_parallel_fanout_is_balanced_and_identical(self):
+        # The sweep path dispatches through submit-based scheduling (one
+        # long-tail cell must not serialize a chunk); results still match
+        # the serial grid exactly.
+        kwargs = dict(gaps=(0.0, 300.0), trials=2,
+                      policies=("elastic", "min_replicas"))
+        serial = sweep_submission_gap(**kwargs)
+        parallel = sweep_submission_gap(workers=3, **kwargs)
+        assert serial.stats == parallel.stats
 
     def test_sweep_respects_base_seed_pairing(self):
         # Different base seeds must give different stats (no accidental
