@@ -1,0 +1,81 @@
+"""Cloud-substrate benchmarks: capacity churn and the cost grid.
+
+Bounds what the elastic-capacity layer adds on top of the scheduler hot
+path: a spot-heavy fleet forcing interruption/requeue cycles through the
+policy engine, and the autoscaler × policy grid (the `repro cloud
+sweep` workload) at a small trial count.
+
+Environment knobs: ``REPRO_TRIALS`` (grid trials per cell, default 5)
+and ``REPRO_WORKERS`` (pool size; unset = serial).
+"""
+
+import os
+
+from benchmarks.conftest import trials_from_env
+from repro.cloud import (
+    CloudScenario,
+    compare_cloud,
+    run_cloud_once,
+)
+from repro.schedsim import format_cost_table
+
+
+def test_spot_churn_through_policy_engine(benchmark, save_result):
+    """200 jobs on a volatile spot fleet: interruptions, drains, regrows."""
+    scenario = CloudScenario(
+        initial_nodes=2, min_nodes=2, max_nodes=8,
+        spot_nodes=4, spot_mean_lifetime=900.0, provision_delay=60.0,
+    )
+
+    def run():
+        return run_cloud_once(
+            "elastic", "queue", scenario, submission_gap=15.0, seed=18,
+            num_jobs=200, retain="metrics",
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.metrics.job_count == 200
+    save_result(
+        "cloud_spot_churn",
+        f"{result.describe()}\n"
+        f"capacity change-points: {len(result.capacity.samples)}",
+    )
+
+
+def test_cloud_grid_sweep(benchmark, save_result):
+    """The full autoscaler x policy grid (REPRO_TRIALS trials per cell)."""
+    trials = trials_from_env(5)
+    workers = os.environ.get("REPRO_WORKERS")
+
+    def run():
+        return compare_cloud(
+            trials=trials,
+            num_jobs=16,
+            submission_gap=60.0,
+            workers=int(workers) if workers else None,
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(stats) == 16
+    save_result(
+        "cloud_grid",
+        format_cost_table(
+            stats.values(),
+            title=f"autoscaler x policy grid ({trials} trials/cell)",
+        ),
+    )
+
+
+def test_static_cloud_overhead(benchmark):
+    """The cloud wrapper on a static fleet must stay near-free."""
+    scenario = CloudScenario(initial_nodes=4, min_nodes=4, max_nodes=4)
+
+    def run():
+        return run_cloud_once(
+            "elastic", "static", scenario, submission_gap=10.0, seed=0,
+            num_jobs=300, retain="metrics",
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.metrics.job_count == 300
+    assert result.cost.interruptions == 0

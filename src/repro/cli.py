@@ -177,6 +177,97 @@ def _run_workload_policy(task):
                               slots, retain)
 
 
+CLOUD_HELP = """\
+Elastic cluster capacity (the `repro cloud` subsystem):
+
+  run     one workload on an autoscaled, billable, interruptible fleet
+  sweep   the autoscaler x policy grid with cost columns (cached,
+          parallel — the same machinery as fig7/fig8)
+
+Autoscalers: static (fixed fleet), queue (demand-driven scale-out),
+utilization (occupancy band), idle (CLUES-style idle-timeout scale-in).
+
+Examples:
+
+  python -m repro cloud run --policy elastic --autoscaler queue \\
+      --jobs 24 --gap 45 --nodes 2 --max-nodes 8
+  python -m repro cloud run --policy elastic --autoscaler idle \\
+      --spot-nodes 3 --spot-lifetime 3600 --seed 7
+  python -m repro cloud sweep --trials 10 --workers 4 \\
+      --autoscalers static,queue,idle --policies elastic,moldable
+"""
+
+
+def _cloud_scenario(args):
+    from .cloud import CloudScenario
+
+    return CloudScenario(
+        slots_per_node=args.slots_per_node,
+        initial_nodes=args.nodes,
+        max_nodes=args.max_nodes,
+        min_nodes=args.min_nodes,
+        provision_delay=args.provision_delay,
+        teardown_delay=args.teardown_delay,
+        price_per_hour=args.price,
+        spot_nodes=args.spot_nodes,
+        spot_price_per_hour=args.spot_price,
+        spot_mean_lifetime=args.spot_lifetime,
+    )
+
+
+def _cmd_cloud(args) -> int:
+    """Run/sweep the elastic-capacity substrate with cost accounting."""
+    from .cloud import AUTOSCALER_NAMES, compare_cloud, run_cloud_once
+    from .schedsim import POLICY_ORDER, format_cost_table
+
+    scenario = _cloud_scenario(args)
+    if args.action == "run":
+        result = run_cloud_once(
+            args.policy,
+            args.autoscaler,
+            scenario=scenario,
+            submission_gap=args.gap,
+            rescale_gap=args.rescale_gap,
+            seed=args.seed,
+            num_jobs=args.jobs,
+        )
+        print(f"# {args.autoscaler} autoscaler, seed={args.seed}, "
+              f"{args.jobs} jobs @ {args.gap:.0f}s")
+        print(result.describe())
+        print(f"capacity change-points: "
+              f"{len(result.capacity.samples)} "
+              f"(peak {max(s for _, s in result.capacity.samples)} slots)")
+        return 0
+
+    # action == "sweep": the autoscaler x policy grid with cost columns.
+    policies = (
+        POLICY_ORDER if args.policies == "all"
+        else tuple(args.policies.split(","))
+    )
+    autoscalers = (
+        AUTOSCALER_NAMES if args.autoscalers == "all"
+        else tuple(args.autoscalers.split(","))
+    )
+    stats = compare_cloud(
+        policies=policies,
+        autoscalers=autoscalers,
+        scenario=scenario,
+        submission_gap=args.gap,
+        rescale_gap=args.rescale_gap,
+        trials=args.trials,
+        base_seed=args.seed,
+        num_jobs=args.jobs,
+        workers=args.workers,
+        cache=args.cache,
+    )
+    print(format_cost_table(
+        stats.values(),
+        title=f"cloud grid ({args.trials} trials, gap={args.gap:.0f}s, "
+              f"{args.jobs} jobs)",
+    ))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     """Policy-engine benchmark + regression gate (see repro.bench)."""
     from .bench import main_bench
@@ -280,6 +371,51 @@ def build_parser() -> argparse.ArgumentParser:
                                 "timelines (large workloads)")
     workloads.add_argument("--workers", type=int, default=None)
     workloads.set_defaults(fn=_cmd_workloads)
+
+    cloud = sub.add_parser(
+        "cloud",
+        help="autoscaled/spot cluster capacity with cost accounting",
+        description=CLOUD_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    cloud.add_argument("action", choices=("run", "sweep"))
+    cloud.add_argument("--policy", default="elastic",
+                       choices=("elastic", "moldable", "min_replicas",
+                                "max_replicas"))
+    cloud.add_argument("--policies", default="all",
+                       help="comma-separated policy list for sweep "
+                            "(default: all)")
+    cloud.add_argument("--autoscaler", default="queue",
+                       choices=("static", "queue", "utilization", "idle"))
+    cloud.add_argument("--autoscalers", default="all",
+                       help="comma-separated autoscaler list for sweep "
+                            "(default: all)")
+    cloud.add_argument("--jobs", type=int, default=16)
+    cloud.add_argument("--gap", type=float, default=90.0)
+    cloud.add_argument("--seed", type=int, default=0)
+    cloud.add_argument("--rescale-gap", type=float, default=180.0)
+    cloud.add_argument("--trials", type=int, default=10,
+                       help="paired trials per sweep cell (default 10)")
+    cloud.add_argument("--slots-per-node", type=int, default=16)
+    cloud.add_argument("--nodes", type=int, default=4,
+                       help="initial on-demand nodes (default 4 = the "
+                            "paper's 64-slot cluster)")
+    cloud.add_argument("--min-nodes", type=int, default=1)
+    cloud.add_argument("--max-nodes", type=int, default=8)
+    cloud.add_argument("--provision-delay", type=float, default=120.0)
+    cloud.add_argument("--teardown-delay", type=float, default=0.0)
+    cloud.add_argument("--price", type=float, default=0.68,
+                       help="on-demand $/node-hour")
+    cloud.add_argument("--spot-nodes", type=int, default=0,
+                       help="spot-pool size (0 disables spot)")
+    cloud.add_argument("--spot-price", type=float, default=0.27)
+    cloud.add_argument("--spot-lifetime", type=float, default=14400.0,
+                       help="mean seconds between spot interruptions")
+    cloud.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for the sweep grid")
+    cloud.add_argument("--cache", default=None,
+                       help="trial-cache directory (or REPRO_SWEEP_CACHE)")
+    cloud.set_defaults(fn=_cmd_cloud)
 
     bench = sub.add_parser(
         "bench",

@@ -1,0 +1,182 @@
+"""Per-second node billing and the run-level cost report.
+
+Cost is the metric the paper's evaluation never prints but every cloud
+deployment optimizes first (the HPC-cloud taxonomy's cost axis).  The
+model here is deliberately the real clouds' simplest shape: a node bills
+from the moment it is *requested* (you pay while it boots) to the moment
+it is gone (teardown included), rounded up to ``billing_increment``
+seconds, at its pool's hourly price.  Interrupted spot nodes stop
+billing at the reclaim.
+
+:class:`BillingMeter` prices a node ledger into a :class:`CostReport`
+whose headline numbers are the ones worth comparing across autoscaler ×
+policy cells: total dollars, node-hours, dollars per completed job, and
+dollars per *busy* slot-hour (the utilization-weighted cost — what one
+hour of actually-used capacity cost, idle overhead amortized in).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..errors import CloudError
+from .provider import Node
+
+__all__ = ["CostModel", "CostReport", "BillingMeter"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Billing rules shared by every pool.
+
+    Parameters
+    ----------
+    billing_increment:
+        Rounding granularity in seconds; 1.0 is the per-second billing
+        of modern clouds, 3600.0 reproduces classic per-hour billing.
+    minimum_charge:
+        Minimum billed seconds per node (some providers bill the first
+        minute regardless).
+    """
+
+    billing_increment: float = 1.0
+    minimum_charge: float = 0.0
+
+    def __post_init__(self):
+        if self.billing_increment <= 0:
+            raise CloudError("billing_increment must be positive")
+        if self.minimum_charge < 0:
+            raise CloudError("minimum_charge must be non-negative")
+
+    def billed_seconds(self, span: float) -> float:
+        """Round one node's wall-clock span up to billable seconds."""
+        if span < 0:
+            raise CloudError(f"cannot bill a negative span ({span})")
+        increments = math.ceil(span / self.billing_increment)
+        return max(increments * self.billing_increment, self.minimum_charge)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """The money row reported next to the §4.3 metrics."""
+
+    total_cost: float
+    node_hours: float
+    ondemand_cost: float
+    spot_cost: float
+    nodes_provisioned: int
+    interruptions: int
+    jobs_completed: int
+    busy_slot_hours: float
+    capacity_slot_hours: float
+    #: Dollars per completed job (inf with zero completions).
+    cost_per_job: float
+    #: Dollars per busy slot-hour — utilization-weighted cost.
+    cost_per_busy_slot_hour: float
+    per_pool_cost: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elastic_utilization(self) -> float:
+        """Busy over *provisioned* slot-hours (the denominator breathes)."""
+        if self.capacity_slot_hours <= 0:
+            return 0.0
+        return self.busy_slot_hours / self.capacity_slot_hours
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total_cost": self.total_cost,
+            "node_hours": self.node_hours,
+            "ondemand_cost": self.ondemand_cost,
+            "spot_cost": self.spot_cost,
+            "nodes_provisioned": self.nodes_provisioned,
+            "interruptions": self.interruptions,
+            "jobs_completed": self.jobs_completed,
+            "busy_slot_hours": self.busy_slot_hours,
+            "capacity_slot_hours": self.capacity_slot_hours,
+            "cost_per_job": self.cost_per_job,
+            "cost_per_busy_slot_hour": self.cost_per_busy_slot_hour,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"${self.total_cost:.2f} over {self.node_hours:.2f} node-hours "
+            f"({self.nodes_provisioned} nodes, {self.interruptions} "
+            f"interruptions): ${self.cost_per_job:.3f}/job, "
+            f"${self.cost_per_busy_slot_hour:.3f}/busy-slot-hour, "
+            f"elastic util {self.elastic_utilization * 100:.1f}%"
+        )
+
+
+class BillingMeter:
+    """Prices a provider's node ledger at the end of a run."""
+
+    def __init__(self, model: Optional[CostModel] = None):
+        self.model = model or CostModel()
+
+    def node_cost(self, node: Node, end: float) -> float:
+        """Dollars one node billed inside the window ``[0, end]``.
+
+        The report prices exactly the experiment window: a node still
+        alive at the horizon — or whose release lands beyond it, like a
+        spot reclaim drawn long after the last job finished — bills to
+        ``end``, as if the operator shut the fleet down when the
+        workload did.  Teardown tails inside the window bill in full.
+        """
+        stop = node.released_at if node.released_at is not None else end
+        span = max(0.0, min(stop, end) - node.requested_at)
+        return self.model.billed_seconds(span) / 3600.0 * node.pool.price_per_hour
+
+    def report(
+        self,
+        nodes: Iterable[Node],
+        end: float,
+        jobs_completed: int,
+        busy_slot_seconds: float,
+        capacity_slot_seconds: float,
+        interruptions: int = 0,
+    ) -> CostReport:
+        """Fold the ledger into a :class:`CostReport`.
+
+        ``end`` is the billing horizon (the last job's completion);
+        every node bills inside ``[0, end]`` — still-running nodes
+        through the horizon, released nodes to their release (teardown
+        included), clipped at the horizon.
+        """
+        total = ondemand = spot = 0.0
+        node_seconds = 0.0
+        per_pool: Dict[str, float] = {}
+        count = 0
+        for node in nodes:
+            count += 1
+            cost = self.node_cost(node, end)
+            total += cost
+            per_pool[node.pool.name] = per_pool.get(node.pool.name, 0.0) + cost
+            if node.pool.spot:
+                spot += cost
+            else:
+                ondemand += cost
+            stop = node.released_at if node.released_at is not None else end
+            node_seconds += max(0.0, min(stop, end) - node.requested_at)
+        return CostReport(
+            total_cost=total,
+            node_hours=node_seconds / 3600.0,
+            ondemand_cost=ondemand,
+            spot_cost=spot,
+            nodes_provisioned=count,
+            interruptions=interruptions,
+            jobs_completed=jobs_completed,
+            busy_slot_hours=busy_slot_seconds / 3600.0,
+            capacity_slot_hours=capacity_slot_seconds / 3600.0,
+            cost_per_job=(
+                total / jobs_completed if jobs_completed else float("inf")
+            ),
+            cost_per_busy_slot_hour=(
+                total / (busy_slot_seconds / 3600.0)
+                if busy_slot_seconds > 0
+                else float("inf")
+            ),
+            per_pool_cost=per_pool,
+        )
+

@@ -1,0 +1,388 @@
+"""Node pools and the simulated cloud provider.
+
+The paper's scheduler runs *on the cloud* (§2), where cluster capacity is
+bought, not given: nodes take real time to provision, cost real money per
+second, and — on the spot market — can be reclaimed by the provider with
+no regard for what is running on them.  This module models exactly that
+surface and nothing more:
+
+* :class:`NodePool` — an instance-type configuration (slots per node,
+  price, provision/teardown latency, fleet limits, and — for spot pools —
+  a mean lifetime for the exponential interruption process);
+* :class:`Node` — one machine's lifecycle
+  (``provisioning → ready → draining → released``) with the timestamps
+  the billing meter prices;
+* :class:`CloudProvider` — the node ledger over the shared event engine:
+  it owns the provisioning/interruption timers and reports lifecycle
+  transitions to the substrate through two callbacks.
+
+Interruptions draw from :func:`repro.sim.rng.stream`, keyed by the
+provider seed and the pool name, so every trial's spot weather is
+reproducible and independent of any other randomness in the simulation
+(the CLUES elasticity manager's power-on/power-off ledger is the shape
+reference here; the spot process is the cloud twist on top).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CloudError, ProvisioningError
+from ..sim.rng import stream
+
+__all__ = ["NodePool", "Node", "NodeState", "CloudProvider"]
+
+
+class NodeState(str, enum.Enum):
+    PROVISIONING = "Provisioning"
+    READY = "Ready"
+    DRAINING = "Draining"
+    RELEASED = "Released"
+
+
+@dataclass(frozen=True)
+class NodePool:
+    """One instance-type configuration the provider can allocate from.
+
+    Parameters
+    ----------
+    slots_per_node:
+        Scheduler slots (vCPUs) one node contributes.
+    price_per_hour:
+        On-demand or spot price in dollars per node-hour.
+    provision_delay:
+        Seconds between requesting a node and its capacity coming online.
+    teardown_delay:
+        Seconds a released node keeps billing while it deprovisions.
+    min_nodes / max_nodes:
+        Fleet bounds the autoscaler must respect.
+    initial_nodes:
+        Nodes already running (and billing) when the simulation starts —
+        the fixed cluster every pre-cloud layer assumed.
+    spot:
+        Spot-market pool: cheaper, but interruptible.
+    mean_lifetime:
+        Mean of the exponential time-to-interruption for ready spot
+        nodes; ``None`` disables interruptions (an on-demand pool in all
+        but price).
+    """
+
+    name: str
+    slots_per_node: int
+    price_per_hour: float
+    provision_delay: float = 60.0
+    teardown_delay: float = 0.0
+    min_nodes: int = 0
+    max_nodes: int = 16
+    initial_nodes: int = 0
+    spot: bool = False
+    mean_lifetime: Optional[float] = None
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise CloudError(f"pool name must be a non-empty string, got {self.name!r}")
+        if self.slots_per_node < 1:
+            raise CloudError(f"{self.name}: slots_per_node must be >= 1")
+        if self.price_per_hour < 0:
+            raise CloudError(f"{self.name}: price_per_hour must be non-negative")
+        if self.provision_delay < 0 or self.teardown_delay < 0:
+            raise CloudError(f"{self.name}: provisioning delays must be non-negative")
+        if not 0 <= self.min_nodes <= self.max_nodes:
+            raise CloudError(
+                f"{self.name}: need 0 <= min_nodes <= max_nodes, got "
+                f"[{self.min_nodes}, {self.max_nodes}]"
+            )
+        if not self.min_nodes <= self.initial_nodes <= self.max_nodes:
+            raise CloudError(
+                f"{self.name}: initial_nodes ({self.initial_nodes}) outside "
+                f"[{self.min_nodes}, {self.max_nodes}]"
+            )
+        if self.mean_lifetime is not None:
+            if not self.spot:
+                raise CloudError(
+                    f"{self.name}: mean_lifetime only applies to spot pools"
+                )
+            if not self.mean_lifetime > 0 or math.isnan(self.mean_lifetime):
+                raise CloudError(f"{self.name}: mean_lifetime must be positive")
+
+
+class Node:
+    """One machine: lifecycle state plus the timestamps billing prices."""
+
+    __slots__ = (
+        "id",
+        "pool",
+        "state",
+        "requested_at",
+        "ready_at",
+        "released_at",
+        "drain_remaining",
+        "interrupted",
+    )
+
+    def __init__(self, node_id: int, pool: NodePool, requested_at: float):
+        self.id = node_id
+        self.pool = pool
+        self.state = NodeState.PROVISIONING
+        #: Billing starts here — the cloud charges while the node boots.
+        self.requested_at = requested_at
+        self.ready_at: Optional[float] = None
+        #: Billing ends here (teardown included); ``None`` while alive.
+        self.released_at: Optional[float] = None
+        #: Slots of this node the scheduler still holds while draining.
+        self.drain_remaining = 0
+        self.interrupted = False
+
+    @property
+    def slots(self) -> int:
+        return self.pool.slots_per_node
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (NodeState.PROVISIONING, NodeState.READY,
+                              NodeState.DRAINING)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.pool.name}/{self.id} {self.state.value}>"
+
+
+class CloudProvider:
+    """The node ledger: provisioning, draining, interruption, release.
+
+    The provider never talks to the policy engine; it reports capacity
+    transitions to whoever bound it (the cloud simulator) via callbacks:
+
+    ``on_ready(node)``
+        A requested node finished provisioning; its slots may join the
+        cluster.
+    ``on_interrupt(node, slots_held)``
+        A spot node was reclaimed; ``slots_held`` is the capacity the
+        scheduler still held on it (a draining node has already given
+        part back).
+    """
+
+    def __init__(self, pools: Sequence[NodePool], seed: int = 0):
+        pools = tuple(pools)
+        if not pools:
+            raise CloudError("CloudProvider needs at least one pool")
+        names = [pool.name for pool in pools]
+        if len(set(names)) != len(names):
+            raise CloudError(f"pool names must be unique, got {names}")
+        self.pools: Tuple[NodePool, ...] = pools
+        self.seed = int(seed)
+        self.nodes: List[Node] = []
+        self.interruptions = 0
+        self._engine = None
+        self._on_ready: Optional[Callable[[Node], None]] = None
+        self._on_interrupt: Optional[Callable[[Node, int], None]] = None
+        self._ids = itertools.count(1)
+        self._spot_rng: Dict[str, object] = {
+            pool.name: stream(self.seed, f"cloud.spot.{pool.name}")
+            for pool in pools
+            if pool.spot and pool.mean_lifetime is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Binding and the initial fleet
+    # ------------------------------------------------------------------
+
+    def bind(
+        self,
+        engine,
+        on_ready: Optional[Callable[[Node], None]] = None,
+        on_interrupt: Optional[Callable[[Node, int], None]] = None,
+    ) -> None:
+        """Attach to the event engine and materialize the initial fleet.
+
+        Initial nodes come up ready instantly (they are the cluster the
+        experiment starts with) — no ``on_ready`` callback fires for
+        them, but initial *spot* nodes do get their interruption draw.
+        """
+        if self._engine is not None:
+            raise CloudError("CloudProvider is already bound to an engine")
+        self._engine = engine
+        self._on_ready = on_ready
+        self._on_interrupt = on_interrupt
+        for pool in self.pools:
+            for _ in range(pool.initial_nodes):
+                node = Node(next(self._ids), pool, engine.now)
+                node.state = NodeState.READY
+                node.ready_at = engine.now
+                self.nodes.append(node)
+                self._schedule_interruption(node)
+
+    def _require_engine(self):
+        if self._engine is None:
+            raise CloudError("CloudProvider.bind() must be called first")
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Capacity views
+    # ------------------------------------------------------------------
+
+    def nodes_in(self, pool: NodePool, *states: NodeState) -> List[Node]:
+        wanted = states or (NodeState.PROVISIONING, NodeState.READY,
+                            NodeState.DRAINING)
+        return [n for n in self.nodes if n.pool is pool and n.state in wanted]
+
+    @property
+    def ready_slots(self) -> int:
+        """Slots on ready nodes (what the scheduler can currently hold)."""
+        return sum(n.slots for n in self.nodes if n.state == NodeState.READY)
+
+    @property
+    def active_nodes(self) -> List[Node]:
+        """Nodes the fleet counts for scaling: provisioning or ready."""
+        return [
+            n for n in self.nodes
+            if n.state in (NodeState.PROVISIONING, NodeState.READY)
+        ]
+
+    @property
+    def draining_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.state == NodeState.DRAINING]
+
+    @property
+    def min_total_nodes(self) -> int:
+        return sum(pool.min_nodes for pool in self.pools)
+
+    @property
+    def max_total_nodes(self) -> int:
+        return sum(pool.max_nodes for pool in self.pools)
+
+    @property
+    def nodes_provisioned(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def request_node(self, pool: Optional[NodePool] = None) -> Node:
+        """Start provisioning one node; capacity arrives after the delay.
+
+        With no explicit pool, the first pool with headroom (declaration
+        order) takes the request — declare the cheap spot pool first to
+        prefer it, or last to use it as overflow.
+        """
+        engine = self._require_engine()
+        if pool is None:
+            pool = next(
+                (p for p in self.pools
+                 if len(self.nodes_in(p, NodeState.PROVISIONING, NodeState.READY))
+                 < p.max_nodes),
+                None,
+            )
+            if pool is None:
+                raise ProvisioningError("every pool is at max_nodes")
+        elif (
+            len(self.nodes_in(pool, NodeState.PROVISIONING, NodeState.READY))
+            >= pool.max_nodes
+        ):
+            raise ProvisioningError(f"pool {pool.name!r} is at max_nodes")
+        node = Node(next(self._ids), pool, engine.now)
+        self.nodes.append(node)
+        engine.schedule(pool.provision_delay, self._node_ready, node)
+        return node
+
+    def has_headroom(self) -> bool:
+        """Whether any pool can still take a node request."""
+        return any(
+            len(self.nodes_in(p, NodeState.PROVISIONING, NodeState.READY))
+            < p.max_nodes
+            for p in self.pools
+        )
+
+    def _node_ready(self, node: Node) -> None:
+        if node.state != NodeState.PROVISIONING:
+            return  # cancelled while booting
+        node.state = NodeState.READY
+        node.ready_at = self._engine.now
+        self._schedule_interruption(node)
+        if self._on_ready is not None:
+            self._on_ready(node)
+
+    def cancel_node(self, node: Node) -> None:
+        """Abort a node that is still provisioning (billed until now)."""
+        if node.state != NodeState.PROVISIONING:
+            raise ProvisioningError(
+                f"cannot cancel node in state {node.state.value}"
+            )
+        node.state = NodeState.RELEASED
+        node.released_at = self._engine.now
+
+    def begin_drain(self, node: Node) -> None:
+        """Cordon a ready node: its slots leave the cluster as they free."""
+        if node.state != NodeState.READY:
+            raise ProvisioningError(
+                f"cannot drain node in state {node.state.value}"
+            )
+        node.state = NodeState.DRAINING
+        node.drain_remaining = node.slots
+
+    def drained(self, node: Node, slots: int) -> bool:
+        """Record ``slots`` reclaimed from a draining node.
+
+        Returns True (and releases the node) once nothing remains.
+        """
+        if node.state != NodeState.DRAINING:
+            raise ProvisioningError(
+                f"cannot drain node in state {node.state.value}"
+            )
+        if slots < 0 or slots > node.drain_remaining:
+            raise ProvisioningError(
+                f"drained {slots} slots from a node holding "
+                f"{node.drain_remaining}"
+            )
+        node.drain_remaining -= slots
+        if node.drain_remaining == 0:
+            self.release_node(node)
+            return True
+        return False
+
+    def release_node(self, node: Node) -> None:
+        """Give a node back; billing runs through the teardown window."""
+        if not node.alive:
+            raise ProvisioningError(f"node {node.id} is already released")
+        node.state = NodeState.RELEASED
+        node.drain_remaining = 0
+        node.released_at = self._engine.now + node.pool.teardown_delay
+
+    # ------------------------------------------------------------------
+    # Spot interruptions
+    # ------------------------------------------------------------------
+
+    def _schedule_interruption(self, node: Node) -> None:
+        rng = self._spot_rng.get(node.pool.name)
+        if rng is None:
+            return
+        lifetime = float(rng.exponential(node.pool.mean_lifetime))
+        self._engine.schedule(lifetime, self._interrupt, node)
+
+    def _interrupt(self, node: Node) -> None:
+        if node.state not in (NodeState.READY, NodeState.DRAINING):
+            return  # released before the reclaim landed
+        slots_held = (
+            node.drain_remaining
+            if node.state == NodeState.DRAINING
+            else node.slots
+        )
+        node.state = NodeState.RELEASED
+        node.drain_remaining = 0
+        node.interrupted = True
+        # A reclaimed instance is gone now — no teardown grace is billed.
+        node.released_at = self._engine.now
+        self.interruptions += 1
+        if self._on_interrupt is not None:
+            self._on_interrupt(node, slots_held)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ready = sum(1 for n in self.nodes if n.state == NodeState.READY)
+        return (
+            f"<CloudProvider pools={[p.name for p in self.pools]} "
+            f"nodes={len(self.nodes)} ready={ready}>"
+        )

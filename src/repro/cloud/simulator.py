@@ -1,0 +1,380 @@
+"""The cloud-substrate scheduler simulator: elastic capacity end to end.
+
+:class:`CloudScheduleSimulator` extends the §4.3.1 simulator with the
+one thing a cloud adds: ``total_slots`` becomes a function of time.  The
+policy engine is still the exact Figure-2/3 implementation — capacity
+changes flow through its :meth:`~repro.scheduling.elastic
+.ElasticPolicyEngine.grow_capacity` / :meth:`shrink_capacity`
+transitions, which reuse the shrink-victim and redistribution machinery
+— so a static fleet reproduces the fixed-capacity simulator decision for
+decision (the equivalence tests pin this).
+
+Event flow
+----------
+* Every submission/completion also snapshots a :class:`~repro.cloud
+  .autoscaler.ClusterState` and reconciles the fleet toward the
+  autoscaler's target (plus a periodic tick, so idle-timeout policies
+  see quiet stretches).
+* Scale-up requests nodes from the provider; their slots join the
+  cluster only when the provisioning delay elapses (``cloud.node.ready``
+  capacity-change events).
+* Scale-down cancels still-provisioning nodes first, then cordons ready
+  nodes and *drains* them: capacity comes off as the Figure-2 drain walk
+  and subsequent completions free it, and the node is released only when
+  its last slot is reclaimed.
+* Spot interruptions (``cloud.node.interrupt`` events) force capacity
+  out immediately: running jobs are shrunk ignoring the rescale gap and,
+  if need be, evicted back to the queue (losing their progress — there
+  is no checkpoint on a reclaimed node).
+* Every node's lifetime is billed; the result carries a
+  :class:`~repro.cloud.billing.CostReport` next to the usual metrics.
+
+A :class:`~repro.sim.trace.Tracer` may be attached to observe the
+capacity-change and interruption events (categories ``cloud.node.*``,
+``cloud.capacity``, ``cloud.autoscale``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..errors import CloudError
+from ..scheduling import PolicyConfig, ReplicaTimeline
+from ..scheduling.elastic import ElasticPolicyEngine
+from ..schedsim.simulator import ScheduleSimulator, SimulationResult
+from ..schedsim.workload import Submission
+from ..sim import Engine
+from ..sim.trace import Tracer
+from ..units import format_duration
+from .autoscaler import Autoscaler, ClusterState, StaticAutoscaler
+from .billing import BillingMeter, CostModel, CostReport
+from .provider import CloudProvider, Node, NodeState
+
+__all__ = ["CloudScheduleSimulator", "CloudSimulationResult"]
+
+
+@dataclass
+class CloudSimulationResult:
+    """One cloud run: the §4.3 metrics plus the money and fleet story."""
+
+    result: SimulationResult
+    cost: CostReport
+    #: Step function of schedulable slots over time (capacity breathing).
+    capacity: ReplicaTimeline
+    autoscaler: str
+
+    @property
+    def metrics(self):
+        return self.result.metrics
+
+    @property
+    def outcomes(self):
+        return self.result.outcomes
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    def describe(self) -> str:
+        # The stored metrics row divides by the *initial* fleet (so a
+        # static run stays bit-identical to the fixed-capacity path);
+        # for humans, print utilization against provisioned capacity.
+        m = self.metrics
+        line = (
+            f"{m.policy:>13}: total={format_duration(m.total_time)} "
+            f"util={self.cost.elastic_utilization * 100:.2f}% "
+            f"resp={m.weighted_mean_response:.2f}s "
+            f"compl={m.weighted_mean_completion:.2f}s"
+        )
+        return f"{line}\n{' ' * 15}{self.cost.describe()}"
+
+
+class CloudScheduleSimulator(ScheduleSimulator):
+    """Simulate one workload on an autoscaled, interruptible fleet."""
+
+    def __init__(
+        self,
+        policy: PolicyConfig,
+        provider: CloudProvider,
+        autoscaler: Optional[Autoscaler] = None,
+        cost_model: Optional[CostModel] = None,
+        overhead=None,
+        engine: Optional[Engine] = None,
+        policy_engine_cls: type = ElasticPolicyEngine,
+        tick: float = 60.0,
+        tracer: Optional[Tracer] = None,
+    ):
+        if tick <= 0:
+            raise CloudError("autoscaler tick must be positive")
+        engine = engine or Engine()
+        provider.bind(
+            engine,
+            on_ready=self._on_node_ready,
+            on_interrupt=self._on_node_interrupted,
+        )
+        initial = provider.ready_slots
+        if initial < 1:
+            raise CloudError(
+                "the initial fleet must contribute at least one slot "
+                "(give some pool initial_nodes > 0)"
+            )
+        super().__init__(
+            policy,
+            total_slots=initial,
+            overhead=overhead,
+            engine=engine,
+            policy_engine_cls=policy_engine_cls,
+        )
+        self.provider = provider
+        self.autoscaler = autoscaler or StaticAutoscaler()
+        self.meter = BillingMeter(cost_model)
+        self.tick = float(tick)
+        self.tracer = tracer
+        self.capacity_timeline = ReplicaTimeline()
+        self.capacity_timeline.record(engine.now, initial)
+        self._arrived_count = 0
+        self._last_completion = engine.now
+        #: provider.interruptions as of the last completion — reclaims
+        #: drawn beyond the workload belong to nobody's experiment.
+        self._interruptions_in_window = 0
+        self._tick_timer = None
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self, submissions: Iterable[Submission], retain: str = "full"):
+        base = super().run(submissions, retain=retain)
+        end = self._last_completion
+        if self._accumulator is not None:
+            busy = self._accumulator.busy_slot_seconds
+        else:
+            busy = sum(
+                o.timeline.slot_seconds(end) for o in base.outcomes
+            )
+        # Integrate provisioned capacity over the same window the §4.3
+        # metrics use (first start .. last completion): on a static fleet
+        # elastic_utilization then reduces *exactly* to the paper's
+        # utilization, and on a breathing fleet the denominator breathes.
+        begin = end - base.metrics.total_time
+        capacity_ss = self.capacity_timeline.slot_seconds(end) - (
+            self.capacity_timeline.slot_seconds(begin)
+        )
+        cost = self.meter.report(
+            self.provider.nodes,
+            end=end,
+            jobs_completed=self._completed_count,
+            busy_slot_seconds=busy,
+            capacity_slot_seconds=capacity_ss,
+            interruptions=self._interruptions_in_window,
+        )
+        return CloudSimulationResult(
+            result=base,
+            cost=cost,
+            capacity=self.capacity_timeline,
+            autoscaler=self.autoscaler.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling-event hooks
+    # ------------------------------------------------------------------
+
+    def _on_submit(self, sub: Submission) -> None:
+        self._arrived_count += 1
+        super()._on_submit(sub)
+        self._autoscale()
+
+    def _on_finish(self, name: str) -> None:
+        self._last_completion = self.engine.now
+        self._interruptions_in_window = self.provider.interruptions
+        super()._on_finish(name)
+        self._push_drains()
+        if self._workload_done():
+            self._cancel_tick()
+        else:
+            self._autoscale()
+
+    def _workload_done(self) -> bool:
+        return (
+            self._submitted_count > 0
+            and self._completed_count == self._submitted_count
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity events
+    # ------------------------------------------------------------------
+
+    def _on_node_ready(self, node: Node) -> None:
+        if self._workload_done():
+            # Too late to matter: hand it straight back (billing covers
+            # the boot window — scale-up that misses the workload is a
+            # cost signal, not an error).
+            self.provider.release_node(node)
+            return
+        self._trace("cloud.node.ready", f"{node.pool.name} node online",
+                    node=node.id, slots=node.slots)
+        decisions = self.policy.grow_capacity(node.slots, self.engine.now)
+        self._record_capacity()
+        self._apply(decisions)
+
+    def _on_node_interrupted(self, node: Node, slots_held: int) -> None:
+        self._trace("cloud.node.interrupt",
+                    f"spot reclaim took {node.pool.name} node",
+                    node=node.id, slots=slots_held)
+        if slots_held > 0:
+            removed, decisions = self.policy.shrink_capacity(
+                slots_held, self.engine.now, force=True
+            )
+            self._apply(decisions)
+            # Evictions may have freed more than the dead node held;
+            # restart whatever fits on the surviving capacity.
+            self._apply(self.policy.rebalance(self.engine.now))
+            self._record_capacity()
+        if not self._workload_done():
+            self._autoscale()
+
+    # ------------------------------------------------------------------
+    # Autoscaling
+    # ------------------------------------------------------------------
+
+    def _cluster_state(self) -> ClusterState:
+        queue = self.policy.queue
+        # Scaling arithmetic uses the first pool's node size; multi-pool
+        # fleets are assumed roughly homogeneous (see autoscaler module).
+        spn = self.provider.pools[0].slots_per_node
+        return ClusterState(
+            now=self.engine.now,
+            total_slots=self.policy.total_slots,
+            used_slots=self.policy.total_slots - self.policy.free_slots,
+            free_slots=self.policy.free_slots,
+            running_jobs=len(self.policy.running),
+            queued_jobs=len(queue),
+            queued_demand=sum(j.request.min_replicas for j in queue),
+            nodes=len(self.provider.active_nodes),
+            pending_nodes=sum(
+                1 for n in self.provider.active_nodes
+                if n.state == NodeState.PROVISIONING
+            ),
+            slots_per_node=spn,
+        )
+
+    def _autoscale(self) -> None:
+        if self._workload_done():
+            self._cancel_tick()
+            return
+        state = self._cluster_state()
+        lo = max(self.provider.min_total_nodes, 0)
+        hi = self.provider.max_total_nodes
+        target = min(max(self.autoscaler.desired_nodes(state), lo, 0), hi)
+        current = state.nodes
+        acted = False
+        if target > current:
+            for _ in range(target - current):
+                if not self.provider.has_headroom():
+                    break
+                node = self.provider.request_node()
+                acted = True
+                self._trace("cloud.autoscale",
+                            f"requested {node.pool.name} node",
+                            node=node.id, target=target)
+        elif target < current:
+            acted = self._scale_in(current - target)
+        self._reschedule_tick(state, acted)
+
+    def _scale_in(self, count: int) -> bool:
+        """Remove up to ``count`` nodes: cancel booting ones, drain ready.
+
+        Ready victims are chosen newest-first from the last pool
+        backwards, keeping the oldest (cheapest-per-useful-hour) fleet
+        core; pools never go below ``min_nodes``.
+        """
+        acted = False
+        for pool in reversed(self.provider.pools):
+            if count <= 0:
+                break
+            keep = pool.min_nodes
+            active = self.provider.nodes_in(
+                pool, NodeState.PROVISIONING, NodeState.READY
+            )
+            removable = len(active) - keep
+            for node in reversed(active):
+                if count <= 0 or removable <= 0:
+                    break
+                if node.state == NodeState.PROVISIONING:
+                    self.provider.cancel_node(node)
+                    self._trace("cloud.autoscale", "cancelled booting node",
+                                node=node.id)
+                else:
+                    self.provider.begin_drain(node)
+                    self._trace("cloud.autoscale", "draining node",
+                                node=node.id)
+                    self._drain_node(node)
+                count -= 1
+                removable -= 1
+                acted = True
+        return acted
+
+    def _drain_node(self, node: Node) -> None:
+        """Pull as much of a draining node's capacity as is free now."""
+        removed, decisions = self.policy.shrink_capacity(
+            node.drain_remaining, self.engine.now
+        )
+        self._apply(decisions)
+        if removed:
+            self._record_capacity()
+            if self.provider.drained(node, removed):
+                self._trace("cloud.node.drained", "node drained and released",
+                            node=node.id)
+
+    def _push_drains(self) -> None:
+        """Advance every in-flight drain (called as completions free slots)."""
+        for node in self.provider.draining_nodes:
+            self._drain_node(node)
+
+    # ------------------------------------------------------------------
+    # Tick plumbing
+    # ------------------------------------------------------------------
+
+    def _reschedule_tick(self, state: ClusterState, acted: bool) -> None:
+        """Keep a periodic evaluation alive only while it can change things.
+
+        Ticks continue while anything is in flight (running jobs,
+        pending arrivals, booting or draining nodes) or the last
+        evaluation acted.  A stuck queue with nothing in flight and an
+        autoscaler that won't (or can't) act stops ticking — the event
+        heap then drains and the simulator's unfinished-job diagnosis
+        surfaces, instead of an infinite idle tick loop.
+        """
+        self._cancel_tick()
+        in_flight = (
+            state.running_jobs > 0
+            or self._arrived_count < self._submitted_count
+            or state.pending_nodes > 0
+            or bool(self.provider.draining_nodes)
+        )
+        if acted or in_flight:
+            self._tick_timer = self.engine.schedule(
+                self.tick, self._on_tick
+            )
+
+    def _on_tick(self) -> None:
+        self._tick_timer = None
+        self._push_drains()
+        self._autoscale()
+
+    def _cancel_tick(self) -> None:
+        if self._tick_timer is not None:
+            self._tick_timer.cancel()
+            self._tick_timer = None
+
+    # ------------------------------------------------------------------
+
+    def _record_capacity(self) -> None:
+        self.capacity_timeline.record(self.engine.now, self.policy.total_slots)
+        self._trace("cloud.capacity", "schedulable capacity changed",
+                    slots=self.policy.total_slots)
+
+    def _trace(self, category: str, message: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(category, message, **fields)

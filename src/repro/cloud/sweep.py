@@ -1,0 +1,320 @@
+"""Autoscaler × policy sweeps with cost accounting.
+
+The cloud question is two-dimensional: the paper's four scheduling
+policies each behave differently under each fleet policy, and the
+interesting trade-off (metrics vs dollars) only shows up in the grid.
+:func:`compare_cloud` runs that grid exactly the way the Figure-7/8
+sweeps run theirs — one flat task list, the process pool fanning out
+misses, the content-addressed cache answering repeats — but each trial's
+record carries the :class:`~repro.cloud.billing.CostReport` next to the
+§4.3 metrics, so cost columns fall out of the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CloudError
+from ..scheduling import make_policy
+from ..schedsim.cache import resolve_trial_cache
+from ..schedsim.workload import WorkloadSpec, generate_workload
+from .autoscaler import AUTOSCALER_NAMES, make_autoscaler
+from .billing import CostModel
+from .provider import CloudProvider, NodePool
+from .simulator import CloudScheduleSimulator, CloudSimulationResult
+
+__all__ = [
+    "CloudScenario",
+    "CloudTrialStats",
+    "cloud_trial_task",
+    "run_cloud_trial_task",
+    "run_cloud_trial_tasks",
+    "compare_cloud",
+    "run_cloud_once",
+]
+
+#: Task-tuple tag: keeps cloud records from ever colliding with plain
+#: trial metrics in a shared cache directory.
+_TASK_KIND = "cloud-trial"
+_TASK_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CloudScenario:
+    """The fleet configuration one sweep holds fixed across its grid.
+
+    One on-demand pool plus an optional cheaper, interruptible spot
+    pool.  Every field is a scalar so a scenario flattens losslessly
+    into the content-addressed task tuple.
+
+    The default initial fleet is 4 × 16 = 64 slots — the paper's
+    cluster — so every policy (including rigid-max, whose xlarge jobs
+    pin 64 replicas) is feasible under a static fleet.
+    """
+
+    slots_per_node: int = 16
+    initial_nodes: int = 4
+    max_nodes: int = 8
+    min_nodes: int = 1
+    provision_delay: float = 120.0
+    teardown_delay: float = 0.0
+    price_per_hour: float = 0.68  # c6g.4xlarge-ish on-demand
+    spot_nodes: int = 0
+    spot_price_per_hour: float = 0.27
+    spot_mean_lifetime: float = 14400.0
+    tick: float = 60.0
+
+    def __post_init__(self):
+        if self.initial_nodes < 1:
+            raise CloudError("scenario needs at least one initial node")
+        if not self.min_nodes <= self.initial_nodes <= self.max_nodes:
+            raise CloudError(
+                "need min_nodes <= initial_nodes <= max_nodes, got "
+                f"[{self.min_nodes}, {self.initial_nodes}, {self.max_nodes}]"
+            )
+        if self.spot_nodes < 0:
+            raise CloudError("spot_nodes must be non-negative")
+
+    def pools(self) -> List[NodePool]:
+        pools = [
+            NodePool(
+                name="ondemand",
+                slots_per_node=self.slots_per_node,
+                price_per_hour=self.price_per_hour,
+                provision_delay=self.provision_delay,
+                teardown_delay=self.teardown_delay,
+                min_nodes=self.min_nodes,
+                max_nodes=self.max_nodes,
+                initial_nodes=self.initial_nodes,
+            )
+        ]
+        if self.spot_nodes > 0:
+            pools.append(
+                NodePool(
+                    name="spot",
+                    slots_per_node=self.slots_per_node,
+                    price_per_hour=self.spot_price_per_hour,
+                    provision_delay=self.provision_delay,
+                    teardown_delay=self.teardown_delay,
+                    min_nodes=0,
+                    max_nodes=self.spot_nodes,
+                    initial_nodes=self.spot_nodes,
+                    spot=True,
+                    mean_lifetime=self.spot_mean_lifetime,
+                )
+            )
+        return pools
+
+    def flatten(self) -> Tuple:
+        return (
+            self.slots_per_node, self.initial_nodes, self.max_nodes,
+            self.min_nodes, self.provision_delay, self.teardown_delay,
+            self.price_per_hour, self.spot_nodes, self.spot_price_per_hour,
+            self.spot_mean_lifetime, self.tick,
+        )
+
+    @classmethod
+    def unflatten(cls, fields: Sequence) -> "CloudScenario":
+        (spn, initial, mx, mn, prov, tear, price, spot, sprice, slife,
+         tick) = fields
+        return cls(
+            slots_per_node=int(spn), initial_nodes=int(initial),
+            max_nodes=int(mx), min_nodes=int(mn), provision_delay=prov,
+            teardown_delay=tear, price_per_hour=price, spot_nodes=int(spot),
+            spot_price_per_hour=sprice, spot_mean_lifetime=slife, tick=tick,
+        )
+
+
+#: Metric fields averaged across trials (record key -> report attribute).
+_METRIC_FIELDS = (
+    "total_time", "utilization", "weighted_mean_response",
+    "weighted_mean_completion",
+)
+_COST_FIELDS = (
+    "total_cost", "node_hours", "cost_per_job", "cost_per_busy_slot_hour",
+    "interruptions", "nodes_provisioned", "elastic_utilization",
+)
+
+
+@dataclass(frozen=True)
+class CloudTrialStats:
+    """Mean metrics *and* mean cost over one grid cell's trials."""
+
+    policy: str
+    autoscaler: str
+    trials: int
+    total_time: float
+    utilization: float
+    weighted_mean_response: float
+    weighted_mean_completion: float
+    total_cost: float
+    node_hours: float
+    cost_per_job: float
+    cost_per_busy_slot_hour: float
+    interruptions: float
+    nodes_provisioned: float
+    elastic_utilization: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy}+{self.autoscaler}"
+
+
+def run_cloud_once(
+    policy_name: str,
+    autoscaler_name: str,
+    scenario: Optional[CloudScenario] = None,
+    submission_gap: float = 90.0,
+    rescale_gap: float = 180.0,
+    seed: int = 0,
+    num_jobs: int = 16,
+    retain: str = "full",
+    tracer=None,
+) -> CloudSimulationResult:
+    """Simulate one workload draw on one (policy, autoscaler) cell."""
+    scenario = scenario or CloudScenario()
+    provider = CloudProvider(scenario.pools(), seed=seed)
+    simulator = CloudScheduleSimulator(
+        make_policy(policy_name, rescale_gap=rescale_gap),
+        provider=provider,
+        autoscaler=make_autoscaler(autoscaler_name),
+        cost_model=CostModel(),
+        tick=scenario.tick,
+        tracer=tracer,
+    )
+    spec = WorkloadSpec(
+        num_jobs=num_jobs, submission_gap=submission_gap, seed=seed
+    )
+    return simulator.run(generate_workload(spec), retain=retain)
+
+
+def cloud_trial_task(
+    policy_name: str,
+    autoscaler_name: str,
+    scenario: CloudScenario,
+    submission_gap: float,
+    rescale_gap: float,
+    seed: int,
+    num_jobs: int = 16,
+) -> Tuple:
+    """The picklable, cache-hashable unit of one cloud trial."""
+    return (
+        _TASK_KIND, _TASK_VERSION, policy_name, autoscaler_name,
+        submission_gap, rescale_gap, seed, num_jobs, *scenario.flatten(),
+    )
+
+
+def run_cloud_trial_task(task: Tuple) -> dict:
+    """Execute one :func:`cloud_trial_task`; returns the JSON record."""
+    (kind, version, policy_name, autoscaler_name, submission_gap,
+     rescale_gap, seed, num_jobs, *scenario_fields) = task
+    if kind != _TASK_KIND or version != _TASK_VERSION:
+        raise CloudError(f"not a cloud trial task: {task!r}")
+    result = run_cloud_once(
+        policy_name,
+        autoscaler_name,
+        scenario=CloudScenario.unflatten(scenario_fields),
+        submission_gap=submission_gap,
+        rescale_gap=rescale_gap,
+        seed=int(seed),
+        num_jobs=int(num_jobs),
+        retain="metrics",
+    )
+    record = {"metrics": result.metrics.as_dict(), "cost": result.cost.as_dict()}
+    record["cost"]["elastic_utilization"] = result.cost.elastic_utilization
+    return record
+
+
+def run_cloud_trial_tasks(
+    tasks: List[Tuple],
+    workers: Optional[int] = None,
+    cache=None,
+) -> List[dict]:
+    """Order-preserving, cache-aware execution of cloud trial tasks.
+
+    The cloud twin of :func:`repro.schedsim.experiment.run_trial_tasks`:
+    records already in the content-addressed store are answered from
+    disk, only misses fan out across the process pool, and fresh results
+    are written back — so an autoscaler × policy grid re-runs for free
+    and a one-cell scenario edit re-simulates only that cell.
+    """
+    from ..workloads.parallel import parallel_map, resolve_workers
+
+    store = resolve_trial_cache(cache)
+    results: List[Optional[dict]] = [None] * len(tasks)
+    if store is not None:
+        for i, task in enumerate(tasks):
+            results[i] = store.get_record(task)
+    miss_indices = [i for i, found in enumerate(results) if found is None]
+    miss_tasks = [tasks[i] for i in miss_indices]
+    if miss_tasks:
+        if resolve_workers(workers) > 1:
+            fresh = parallel_map(
+                run_cloud_trial_task, miss_tasks, workers=workers,
+                balanced=True,
+            )
+        else:
+            fresh = [run_cloud_trial_task(task) for task in miss_tasks]
+        for i, record in zip(miss_indices, fresh):
+            results[i] = record
+            if store is not None:
+                store.put_record(tasks[i], record)
+    return results  # type: ignore[return-value]  # every slot now filled
+
+
+def _aggregate(
+    policy_name: str, autoscaler_name: str, records: List[dict]
+) -> CloudTrialStats:
+    n = float(len(records))
+    means = {
+        key: sum(r["metrics"][key] for r in records) / n
+        for key in _METRIC_FIELDS
+    }
+    costs = {
+        key: sum(r["cost"][key] for r in records) / n for key in _COST_FIELDS
+    }
+    return CloudTrialStats(
+        policy=policy_name,
+        autoscaler=autoscaler_name,
+        trials=len(records),
+        **means,
+        **costs,
+    )
+
+
+def compare_cloud(
+    policies: Sequence[str] = ("elastic", "moldable", "min_replicas",
+                               "max_replicas"),
+    autoscalers: Sequence[str] = AUTOSCALER_NAMES,
+    scenario: Optional[CloudScenario] = None,
+    submission_gap: float = 90.0,
+    rescale_gap: float = 180.0,
+    trials: int = 10,
+    base_seed: int = 0,
+    num_jobs: int = 16,
+    workers: Optional[int] = None,
+    cache=None,
+) -> Dict[Tuple[str, str], CloudTrialStats]:
+    """The autoscaler × policy grid, averaged over paired trials.
+
+    Returns one :class:`CloudTrialStats` per ``(autoscaler, policy)``
+    cell; trial *i* of every cell shares seed ``base_seed + i`` (same
+    workload draw *and* same spot weather), so cells are paired
+    comparisons exactly like the paper's policy tables.
+    """
+    scenario = scenario or CloudScenario()
+    cells = [(a, p) for a in autoscalers for p in policies]
+    tasks = [
+        cloud_trial_task(policy, autoscaler, scenario, submission_gap,
+                         rescale_gap, base_seed + i, num_jobs)
+        for autoscaler, policy in cells
+        for i in range(trials)
+    ]
+    records = run_cloud_trial_tasks(tasks, workers=workers, cache=cache)
+    return {
+        (autoscaler, policy): _aggregate(
+            policy, autoscaler, records[c * trials:(c + 1) * trials]
+        )
+        for c, (autoscaler, policy) in enumerate(cells)
+    }

@@ -110,6 +110,19 @@ class JobStateError(SchedulingError):
 
 
 # ---------------------------------------------------------------------------
+# Cloud capacity substrate
+# ---------------------------------------------------------------------------
+
+
+class CloudError(ReproError):
+    """Base class for cloud-provider / autoscaler errors."""
+
+
+class ProvisioningError(CloudError):
+    """A node request violated pool limits or lifecycle state."""
+
+
+# ---------------------------------------------------------------------------
 # Performance modelling
 # ---------------------------------------------------------------------------
 

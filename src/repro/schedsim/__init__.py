@@ -20,7 +20,13 @@ from .experiment import (
     run_once,
     run_trials,
 )
-from .report import METRIC_LABELS, format_policy_table, format_sweep
+from .report import (
+    COST_LABELS,
+    METRIC_LABELS,
+    format_cost_table,
+    format_policy_table,
+    format_sweep,
+)
 from .simulator import ScheduleSimulator, SimulationResult
 from .sweep import (
     FIG7_SUBMISSION_GAPS,
@@ -51,7 +57,9 @@ __all__ = [
     "POLICY_ORDER",
     "format_policy_table",
     "format_sweep",
+    "format_cost_table",
     "METRIC_LABELS",
+    "COST_LABELS",
     "TrialCache",
     "resolve_trial_cache",
     "code_salt",

@@ -46,7 +46,8 @@ CACHE_ENV = "REPRO_SWEEP_CACHE"
 
 #: Subpackages whose source participates in the code-version salt — the
 #: transitive implementation of one simulated trial.
-_SALTED_TREES = ("scheduling", "schedsim", "sim", "perfmodel", "workloads")
+_SALTED_TREES = ("scheduling", "schedsim", "sim", "perfmodel", "workloads",
+                 "cloud")
 _SALTED_FILES = ("units.py", "errors.py")
 
 _code_salt: Optional[str] = None
@@ -125,42 +126,28 @@ class TrialCache:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
     # ------------------------------------------------------------------
+    # Shared document I/O (one read path, one atomic write path)
+    # ------------------------------------------------------------------
 
-    def get(self, task: Sequence) -> Optional[SchedulerMetrics]:
-        """The cached metrics for ``task``, or None (counted as a miss)."""
+    def _read_document(self, task: Sequence) -> Optional[dict]:
+        """Load the stored JSON document for ``task``, or None.
+
+        Does not touch the hit/miss counters — the typed getters decide
+        whether what came back is usable.
+        """
         try:
             with open(self._path(self.key(task)), "r", encoding="utf-8") as handle:
                 document = json.load(handle)
         except (OSError, ValueError):
             # ValueError covers JSONDecodeError *and* UnicodeDecodeError:
             # an entry damaged on disk is a miss, never a sweep abort.
-            self.misses += 1
             return None
-        try:
-            metrics = SchedulerMetrics(**document["metrics"])
-        except (KeyError, TypeError):
-            # Unreadable entry (e.g. written by a future schema): miss.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return metrics
+        return document if isinstance(document, dict) else None
 
-    def put(self, task: Sequence, metrics: SchedulerMetrics) -> None:
-        """Store one trial result atomically (safe for shared caches)."""
+    def _write_document(self, task: Sequence, document: dict) -> None:
+        """Store one JSON document atomically (safe for shared caches)."""
         path = self._path(self.key(task))
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        document = {
-            "schema": self.SCHEMA,
-            "task": list(task),
-            "metrics": {
-                "policy": metrics.policy,
-                "total_time": metrics.total_time,
-                "utilization": metrics.utilization,
-                "weighted_mean_response": metrics.weighted_mean_response,
-                "weighted_mean_completion": metrics.weighted_mean_completion,
-                "job_count": metrics.job_count,
-            },
-        }
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -173,6 +160,65 @@ class TrialCache:
                 pass
             raise
         self.writes += 1
+
+    # ------------------------------------------------------------------
+
+    def get(self, task: Sequence) -> Optional[SchedulerMetrics]:
+        """The cached metrics for ``task``, or None (counted as a miss)."""
+        document = self._read_document(task)
+        if document is not None:
+            try:
+                metrics = SchedulerMetrics(**document["metrics"])
+            except (KeyError, TypeError):
+                # Unreadable entry (e.g. a future schema, or a record-
+                # side entry under the same key space): miss.
+                pass
+            else:
+                self.hits += 1
+                return metrics
+        self.misses += 1
+        return None
+
+    def put(self, task: Sequence, metrics: SchedulerMetrics) -> None:
+        """Store one trial result atomically."""
+        self._write_document(task, {
+            "schema": self.SCHEMA,
+            "task": list(task),
+            "metrics": {
+                "policy": metrics.policy,
+                "total_time": metrics.total_time,
+                "utilization": metrics.utilization,
+                "weighted_mean_response": metrics.weighted_mean_response,
+                "weighted_mean_completion": metrics.weighted_mean_completion,
+                "job_count": metrics.job_count,
+            },
+        })
+
+    # ------------------------------------------------------------------
+    # Generic records (cloud sweeps: metrics + cost in one entry)
+    # ------------------------------------------------------------------
+
+    def get_record(self, task: Sequence) -> Optional[dict]:
+        """The cached JSON record for ``task``, or None (a miss).
+
+        The record side of the store shares the key/salt/shard scheme
+        with the metrics side but carries an arbitrary JSON object —
+        the cloud sweep uses it to keep a trial's metrics *and* cost
+        report in one entry.
+        """
+        document = self._read_document(task)
+        record = document.get("record") if document is not None else None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put_record(self, task: Sequence, record: dict) -> None:
+        """Store one arbitrary JSON record atomically."""
+        self._write_document(
+            task, {"schema": self.SCHEMA, "task": list(task), "record": record}
+        )
 
     # ------------------------------------------------------------------
 

@@ -7,13 +7,23 @@ from typing import Dict, List
 from .experiment import TrialStats
 from .sweep import SweepResult
 
-__all__ = ["format_policy_table", "format_sweep", "METRIC_LABELS"]
+__all__ = ["format_policy_table", "format_sweep", "format_cost_table",
+           "METRIC_LABELS", "COST_LABELS"]
 
 METRIC_LABELS = {
     "total_time": "Total time (s)",
     "utilization": "Cluster utilization",
     "weighted_mean_response": "Weighted mean response time (s)",
     "weighted_mean_completion": "Weighted mean completion time (s)",
+}
+
+COST_LABELS = {
+    "total_cost": "Cost ($)",
+    "node_hours": "Node-hours",
+    "cost_per_job": "$/job",
+    "cost_per_busy_slot_hour": "$/busy-slot-h",
+    "elastic_utilization": "Elastic util",
+    "interruptions": "Interrupts",
 }
 
 
@@ -32,6 +42,37 @@ def format_policy_table(stats: Dict[str, TrialStats], title: str = "") -> str:
         lines.append(
             f"{name:>14} | {s.total_time:>14.1f} | {s.utilization * 100:>10.2f}% | "
             f"{s.weighted_mean_response:>11.2f} | {s.weighted_mean_completion:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_cost_table(rows, title: str = "") -> str:
+    """Metrics + cost columns, one row per autoscaler × policy cell.
+
+    ``rows`` is any iterable of objects exposing the
+    :class:`~repro.cloud.sweep.CloudTrialStats` fields (duck-typed so
+    this module never imports the cloud package); rows print in input
+    order.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Scheduler':>14} | {'Autoscaler':>11} | {'Total (s)':>9} | "
+        f"{'W. resp (s)':>11} | {'Cost ($)':>8} | {'Node-h':>7} | "
+        f"{'$/job':>7} | {'$/busy-sl-h':>11} | {'El. util':>8} | "
+        f"{'Intr':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.policy:>14} | {row.autoscaler:>11} | "
+            f"{row.total_time:>9.1f} | {row.weighted_mean_response:>11.2f} | "
+            f"{row.total_cost:>8.2f} | {row.node_hours:>7.2f} | "
+            f"{row.cost_per_job:>7.3f} | {row.cost_per_busy_slot_hour:>11.3f} | "
+            f"{row.elastic_utilization * 100:>7.2f}% | "
+            f"{row.interruptions:>4.1f}"
         )
     return "\n".join(lines)
 

@@ -27,6 +27,7 @@ from ..scheduling import (
     MetricsAccumulator,
     PolicyConfig,
     ReplicaTimeline,
+    RequeueJob,
     SchedulerMetrics,
     ShrinkJob,
     StartJob,
@@ -266,6 +267,8 @@ class ScheduleSimulator:
                 self._rescale(name, decision.to_replicas)
             elif isinstance(decision, PreemptJob):
                 self._preempt(name)
+            elif isinstance(decision, RequeueJob):
+                self._evict(name)
             elif isinstance(decision, EnqueueJob):
                 pass
             else:  # pragma: no cover - future decision kinds
@@ -299,6 +302,20 @@ class ScheduleSimulator:
         job.progress_start = now + overhead
         self._timelines[name].record(now, new_replicas)
         self._schedule_finish(job)
+
+    def _evict(self, name: str) -> None:
+        """A spot interruption took the job's node: all progress is lost.
+
+        Unlike :meth:`_preempt` there is no checkpoint on disk — the job
+        returns to the queue and, when the policy restarts it, begins
+        again from step zero (the next :class:`StartJob` rebuilds the
+        progress record from the original submission).
+        """
+        job = self._running.pop(name)
+        if job.finish_timer is not None:
+            job.finish_timer.cancel()
+            job.finish_timer = None
+        self._timelines[name].record(self.engine.now, 0)
 
     def _preempt(self, name: str) -> None:
         """Checkpoint a running job to disk and stop it (§3.2.2)."""
@@ -347,4 +364,5 @@ class ScheduleSimulator:
             timeline=self._timelines[name],
             size_class=sub.size.name,
             rescale_count=record.rescale_count,
+            user=sub.request.params.get("user"),
         )

@@ -21,12 +21,14 @@ from .metrics import (
     StreamingTimeline,
     compute_metrics,
 )
+from .metrics import FairnessReport, compute_fairness
 from .policies import DEFAULT_RESCALE_GAP, POLICY_NAMES, make_policy
 from .policy import (
     Decision,
     EnqueueJob,
     ExpandJob,
     PolicyConfig,
+    RequeueJob,
     ShrinkJob,
     StartJob,
 )
@@ -46,12 +48,15 @@ __all__ = [
     "ShrinkJob",
     "ExpandJob",
     "EnqueueJob",
+    "RequeueJob",
     "JobOutcome",
     "ReplicaTimeline",
     "StreamingTimeline",
     "SchedulerMetrics",
     "compute_metrics",
     "MetricsAccumulator",
+    "FairnessReport",
+    "compute_fairness",
 ]
 
 # The Kubernetes-facing controller pulls in the operator stack; import it

@@ -69,6 +69,7 @@ by the live-job count instead of the workload length.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CapacityError, JobStateError
@@ -79,6 +80,7 @@ from .policy import (
     EnqueueJob,
     ExpandJob,
     PolicyConfig,
+    RequeueJob,
     ShrinkJob,
     StartJob,
 )
@@ -268,8 +270,30 @@ class ElasticPolicyEngine:
         the walk's stop condition (no member outranks the arrival).
         Returns the still-unmet part of ``min_to_free``.
         """
-        gap = self.config.rescale_gap
-        priority = job.priority
+        return self._shrink_pass(
+            job.priority, now, min_to_free, max_to_free, decisions,
+            self.config.rescale_gap,
+        )
+
+    def _shrink_pass(
+        self,
+        priority: float,
+        now: float,
+        min_to_free: int,
+        max_to_free: int,
+        decisions: List[Decision],
+        gap: float,
+    ) -> int:
+        """The Figure-2 victim walk against an explicit rank and gap.
+
+        :meth:`_shrink_victims` calls it with the arriving job's priority
+        and the configured rescale gap — the literal submission path.
+        Capacity shrinks (:meth:`shrink_capacity`) reuse the identical
+        walk with ``priority = +inf`` (every running job except the
+        protected index-0 one is a candidate) and, when forced by an
+        interruption, ``gap = -inf`` (reclaiming a dead node is not a
+        policy decision, so the rescale-gap courtesy does not apply).
+        """
         blocks = self.running.blocks
         for b in range(len(blocks) - 1, -1, -1):
             if max_to_free <= 0:
@@ -448,6 +472,129 @@ class ElasticPolicyEngine:
                     num_workers -= add
 
     # ------------------------------------------------------------------
+    # Elastic cluster capacity (the repro.cloud substrate)
+    # ------------------------------------------------------------------
+    #
+    # The paper schedules on a cloud, where ``total_slots`` is itself a
+    # time-varying quantity: nodes come online after a provisioning
+    # delay, drain away when an autoscaler releases them, and vanish
+    # outright when a spot instance is reclaimed.  These transitions are
+    # *substrate* events, not Figure-2/3 policy decisions — a substrate
+    # that never calls them (every fixed-capacity caller) gets a bytewise
+    # unchanged engine, which is what the golden decision-log suite
+    # pins.  Both transitions maintain the O(1) ``free_slots`` counter
+    # and the :class:`IndexedJobList` aggregates through the existing
+    # transition helpers only.
+
+    def grow_capacity(self, slots: int, now: float) -> List[Decision]:
+        """Add ``slots`` to the cluster and hand them out (Figure 3).
+
+        Called by the cloud substrate when a provisioned node comes
+        online.  The enlarged free pool is redistributed exactly like a
+        completion's freed workers: queued jobs start, running elastic
+        jobs expand, in decreasing priority order.
+        """
+        slots = int(slots)
+        if slots <= 0:
+            raise CapacityError(f"capacity growth must be positive, got {slots}")
+        self.total_slots += slots
+        return self.rebalance(now)
+
+    def shrink_capacity(
+        self, slots: int, now: float, *, force: bool = False
+    ) -> Tuple[int, List[Decision]]:
+        """Remove up to ``slots`` from the cluster; returns what came off.
+
+        Free slots are surrendered first.  If they do not cover the
+        request, the engine *drains*: the Figure-2 shrink-victim walk
+        runs with a rank above every job (``priority = +inf``), so every
+        running elastic job except the protected index-0 one gives up
+        replicas down to its minimum, newest-priority first — the same
+        machinery, aggregates, and skip logic an arriving job would use.
+
+        ``force=False`` (autoscaler scale-down) is cooperative: the walk
+        respects ``T_rescale_gap`` and the removal is *partial* — only
+        what is actually free afterwards comes off, and the caller
+        re-issues the shrink later for the remainder (cordon-and-drain:
+        capacity already removed can never be re-allocated to the queue
+        while the rest of the node drains).
+
+        ``force=True`` (spot interruption) must reclaim everything ``now``:
+        the walk ignores the rescale gap, and any remaining deficit is
+        met by evicting whole running jobs back to the queue
+        (:class:`RequeueJob`), lowest priority first — the protected
+        index-0 job last of all, because a dead node protects nobody.
+
+        Returns ``(removed, decisions)`` with ``removed <= slots`` (always
+        ``== min(slots, total_slots)`` when forced).
+        """
+        slots = int(slots)
+        if slots <= 0:
+            raise CapacityError(f"capacity shrink must be positive, got {slots}")
+        slots = min(slots, self.total_slots)
+        decisions: List[Decision] = []
+        deficit = slots - self.free_slots
+        if deficit > 0:
+            gap = float("-inf") if force else self.config.rescale_gap
+            self._shrink_pass(
+                float("inf"), now, deficit, deficit, decisions, gap
+            )
+            deficit = slots - self.free_slots
+        if deficit > 0 and force:
+            # Evict whole jobs, lowest priority first; the snapshot is
+            # taken up front because _requeue mutates the running list.
+            for candidate in list(reversed(self.running)):
+                if self.free_slots >= slots:
+                    break
+                decisions.append(self._requeue(candidate, now))
+        removed = min(slots, self.free_slots)
+        self.total_slots -= removed
+        return removed, self._log(decisions)
+
+    def rebalance(self, now: float) -> List[Decision]:
+        """Redistribute the current free pool (Figure 3, budget-only).
+
+        Used by the cloud substrate after capacity changes that free
+        slots outside a completion event — a node coming online, or the
+        slack left when an interruption's evictions freed more than the
+        dead node held.
+        """
+        budget = self.free_slots
+        decisions: List[Decision] = []
+        if budget <= 0:
+            return decisions
+        self._pending_starts = []
+        try:
+            self._redistribute(budget, now, decisions)
+        finally:
+            started, self._pending_starts = self._pending_starts, None
+            for moved in started:
+                self.queue.remove(moved)
+                self.running.add(moved)
+        return self._log(decisions)
+
+    def _requeue(self, job: SchedulerJob, now: float) -> RequeueJob:
+        """Evict a running job to the queue (forced capacity loss only).
+
+        ``last_action`` resets to ``-inf``, the value a never-started
+        submission carries: the job is starting over, and it must be
+        immediately restartable when capacity returns — under the
+        moldable policy (``T_rescale_gap = ∞``) any finite timestamp
+        would gate its restart forever, deadlocking the workload on the
+        first interruption.  Eviction is the cloud's doing, not one of
+        the job's §3.2.1 scheduling events, so no rescale-gap penalty
+        applies.
+        """
+        self.running.remove(job)
+        released = job.replicas
+        self._used_slots -= released + self.config.launcher_slots
+        job.replicas = 0
+        job.state = JobState.QUEUED
+        job.last_action = -math.inf
+        self.queue.add(job)
+        return RequeueJob(job=job, released_replicas=released)
+
+    # ------------------------------------------------------------------
     # Substrate feedback
     # ------------------------------------------------------------------
 
@@ -489,13 +636,22 @@ class ElasticPolicyEngine:
     # ------------------------------------------------------------------
 
     def _activate(self, job: SchedulerJob, replicas: int, now: float) -> StartJob:
-        """Mark ``job`` running and charge its slots (no list placement)."""
+        """Mark ``job`` running and charge its slots (no list placement).
+
+        ``start_time`` records the *first* start only: a job restarting
+        after a preemption or a spot eviction began service at its
+        original start, and the metrics window (first start .. last
+        completion) must keep covering the busy slot-time it burned
+        before losing its node — a shifted window would count that work
+        outside the utilization denominator.
+        """
         taken = replicas + self.config.launcher_slots
         self._validate_capacity(taken)
         job.state = JobState.RUNNING
         job.replicas = replicas
         job.last_action = now
-        job.start_time = now
+        if job.start_time is None:
+            job.start_time = now
         self._used_slots += taken
         return StartJob(job=job, replicas=replicas)
 

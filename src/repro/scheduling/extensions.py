@@ -92,6 +92,21 @@ class AgingPolicyEngine(ElasticPolicyEngine):
         self._now_hint = now
         return super().on_complete(name, now)
 
+    # Capacity transitions redistribute through _candidates_by_priority
+    # too, so the aged ordering needs the event time stashed the same way.
+
+    def grow_capacity(self, slots: int, now: float):
+        self._now_hint = now
+        return super().grow_capacity(slots, now)
+
+    def shrink_capacity(self, slots: int, now: float, *, force: bool = False):
+        self._now_hint = now
+        return super().shrink_capacity(slots, now, force=force)
+
+    def rebalance(self, now: float):
+        self._now_hint = now
+        return super().rebalance(now)
+
 
 @dataclass(frozen=True)
 class PreemptJob(Decision):

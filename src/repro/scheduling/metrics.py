@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -26,6 +27,10 @@ __all__ = [
     "ReplicaTimeline",
     "StreamingTimeline",
     "MetricsAccumulator",
+    "FairnessReport",
+    "compute_fairness",
+    "bounded_slowdown",
+    "BOUNDED_SLOWDOWN_THRESHOLD",
 ]
 
 
@@ -168,6 +173,10 @@ class JobOutcome:
     )
     size_class: Optional[str] = None
     rescale_count: int = 0
+    #: Submitting user (the SWF ``user_id`` field for trace replays;
+    #: ``None`` for the paper's anonymous synthetic draws).  Feeds the
+    #: per-user fairness metrics.
+    user: Optional[str] = None
 
     @property
     def response_time(self) -> float:
@@ -213,6 +222,110 @@ class SchedulerMetrics:
         )
 
 
+#: Bounded-slowdown runtime floor (seconds).  The standard guard from the
+#: parallel-workloads literature: without it, a 1-second job that waited a
+#: minute would report a slowdown of 60 and drown every other signal.
+BOUNDED_SLOWDOWN_THRESHOLD = 10.0
+
+
+def bounded_slowdown(
+    outcome: JobOutcome, threshold: float = BOUNDED_SLOWDOWN_THRESHOLD
+) -> float:
+    """max(1, (wait + run) / max(run, threshold)) for one finished job."""
+    run = outcome.completion_time - outcome.start_time
+    slowdown = outcome.turnaround_time / max(run, threshold)
+    return max(1.0, slowdown)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Per-user fairness over one run — the dispersion of service quality.
+
+    Mean bounded slowdown is computed per user (jobs with no user
+    attribution share one anonymous bucket); a scheduler is *fair* when
+    those means are tight — no user's jobs systematically starve — so the
+    headline numbers are the worst user's mean and the population
+    standard deviation across users.
+    """
+
+    user_count: int
+    job_count: int
+    mean_slowdown: float
+    max_user_slowdown: float
+    stddev_user_slowdown: float
+    per_user: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "user_count": self.user_count,
+            "mean_slowdown": self.mean_slowdown,
+            "max_user_slowdown": self.max_user_slowdown,
+            "stddev_user_slowdown": self.stddev_user_slowdown,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"fairness over {self.user_count} user(s): "
+            f"mean bounded slowdown {self.mean_slowdown:.2f}, "
+            f"worst user {self.max_user_slowdown:.2f}, "
+            f"stddev {self.stddev_user_slowdown:.3f}"
+        )
+
+
+class _FairnessTally:
+    """Streaming per-user (sum, count) of bounded slowdowns.
+
+    Memory is bounded by the number of distinct users, never the number
+    of jobs — safe for ``retain="metrics"`` runs.
+    """
+
+    __slots__ = ("threshold", "_sums", "_counts", "_total", "_jobs")
+
+    def __init__(self, threshold: float = BOUNDED_SLOWDOWN_THRESHOLD):
+        self.threshold = threshold
+        self._sums: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._total = 0.0
+        self._jobs = 0
+
+    def add(self, outcome: JobOutcome) -> None:
+        user = outcome.user if outcome.user is not None else "-"
+        value = bounded_slowdown(outcome, self.threshold)
+        self._sums[user] = self._sums.get(user, 0.0) + value
+        self._counts[user] = self._counts.get(user, 0) + 1
+        self._total += value
+        self._jobs += 1
+
+    def report(self) -> FairnessReport:
+        if not self._jobs:
+            raise SchedulingError("fairness report needs at least one outcome")
+        per_user = {
+            user: self._sums[user] / self._counts[user] for user in self._sums
+        }
+        means = list(per_user.values())
+        center = sum(means) / len(means)
+        variance = sum((m - center) ** 2 for m in means) / len(means)
+        return FairnessReport(
+            user_count=len(per_user),
+            job_count=self._jobs,
+            mean_slowdown=self._total / self._jobs,
+            max_user_slowdown=max(means),
+            stddev_user_slowdown=math.sqrt(variance),
+            per_user=per_user,
+        )
+
+
+def compute_fairness(
+    outcomes: Sequence[JobOutcome],
+    threshold: float = BOUNDED_SLOWDOWN_THRESHOLD,
+) -> FairnessReport:
+    """Per-user bounded-slowdown fairness for a finished outcome set."""
+    tally = _FairnessTally(threshold)
+    for outcome in outcomes:
+        tally.add(outcome)
+    return tally.report()
+
+
 class MetricsAccumulator:
     """Online aggregation of job outcomes into the four §4.3 metrics.
 
@@ -238,6 +351,7 @@ class MetricsAccumulator:
         self._weighted_completion = 0.0
         self._begin = float("inf")
         self._end = float("-inf")
+        self._fairness = _FairnessTally()
 
     def add(self, outcome: JobOutcome) -> None:
         """Fold one finished job into the running sums."""
@@ -249,6 +363,22 @@ class MetricsAccumulator:
         self._weight += outcome.priority
         self._weighted_response += outcome.priority * outcome.response_time
         self._weighted_completion += outcome.priority * outcome.turnaround_time
+        self._fairness.add(outcome)
+
+    @property
+    def busy_slot_seconds(self) -> float:
+        """Integral of occupied slots so far (the utilization numerator).
+
+        The cloud billing meter reads this to price *useful* slot-time:
+        with time-varying capacity the utilization ratio alone cannot
+        recover it, because the denominator is no longer a constant
+        ``total_slots × duration``.
+        """
+        return self._busy
+
+    def fairness(self) -> FairnessReport:
+        """Per-user bounded-slowdown fairness over the outcomes so far."""
+        return self._fairness.report()
 
     def finalize(
         self, span: Optional[Tuple[float, float]] = None

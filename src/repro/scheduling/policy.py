@@ -20,6 +20,7 @@ __all__ = [
     "ShrinkJob",
     "ExpandJob",
     "EnqueueJob",
+    "RequeueJob",
     "PolicyConfig",
 ]
 
@@ -58,6 +59,21 @@ class ExpandJob(Decision):
 @dataclass(frozen=True)
 class EnqueueJob(Decision):
     """Hold ``job`` in the internal priority queue."""
+
+
+@dataclass(frozen=True)
+class RequeueJob(Decision):
+    """Evict a running job back to the queue because its capacity vanished.
+
+    Emitted only by forced capacity shrinks (a spot-instance interruption
+    reclaiming a node out from under the scheduler, §2's cloud reality) —
+    never by the Figure-2/3 policy logic itself.  Unlike
+    :class:`~repro.scheduling.extensions.PreemptJob` the eviction is not a
+    scheduling choice and carries no checkpoint: the substrate decides
+    what survives (the schedsim model restarts the job from scratch).
+    """
+
+    released_replicas: int
 
 
 @dataclass
@@ -104,10 +120,40 @@ class PolicyConfig:
     literal_completion_budget: bool = False
 
     def __post_init__(self):
+        # Catch bad parameters at construction with a message naming the
+        # field, instead of latent misbehavior (a NaN gap silently failing
+        # every rescale-eligibility comparison, a float launcher slot
+        # corrupting the O(1) slot accounting) deep inside the engine.
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(
+                f"policy name must be a non-empty string, got {self.name!r}"
+            )
+        if isinstance(self.rescale_gap, bool) or not isinstance(
+            self.rescale_gap, (int, float)
+        ):
+            raise ValueError(
+                f"rescale_gap must be a number, got {self.rescale_gap!r}"
+            )
+        if math.isnan(self.rescale_gap):
+            raise ValueError("rescale_gap must not be NaN")
         if self.rescale_gap < 0:
-            raise ValueError("rescale_gap must be non-negative")
+            raise ValueError(
+                f"rescale_gap must be non-negative, got {self.rescale_gap!r}"
+            )
+        if isinstance(self.launcher_slots, bool) or not isinstance(
+            self.launcher_slots, int
+        ):
+            raise ValueError(
+                f"launcher_slots must be an integer, got {self.launcher_slots!r}"
+            )
         if self.launcher_slots < 0:
-            raise ValueError("launcher_slots must be non-negative")
+            raise ValueError(
+                f"launcher_slots must be non-negative, got {self.launcher_slots!r}"
+            )
+        if not callable(self.job_transform):
+            raise ValueError("job_transform must be callable")
+        if self.shrink_filter is not None and not callable(self.shrink_filter):
+            raise ValueError("shrink_filter must be callable or None")
 
     @property
     def is_moldable(self) -> bool:

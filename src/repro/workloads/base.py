@@ -70,16 +70,25 @@ def make_request(
     size: JobSizeClass,
     priority: int,
     timesteps: Optional[int] = None,
+    user: Optional[str] = None,
 ) -> JobRequest:
-    """Build the :class:`JobRequest` for one job of a given size class."""
+    """Build the :class:`JobRequest` for one job of a given size class.
+
+    ``user`` attributes the job to a submitting user (the SWF ``user_id``
+    for trace replays); it rides in ``params`` and feeds the per-user
+    fairness metrics.
+    """
     steps = int(timesteps) if timesteps is not None else size.timesteps
+    params = {"size_class": size.name, "timesteps": steps}
+    if user is not None:
+        params["user"] = user
     return JobRequest(
         name=name,
         min_replicas=size.min_replicas,
         max_replicas=size.max_replicas,
         priority=priority,
         size_class=size.name,
-        params={"size_class": size.name, "timesteps": steps},
+        params=params,
     )
 
 

@@ -243,6 +243,7 @@ class SWFTrace:
                 size=size,
                 priority=self._priority(job),
                 timesteps=self._timesteps(job, size),
+                user=f"u{job.user_id}" if job.user_id >= 0 else None,
             )
             yield Submission(
                 time=(job.submit_time - t0) * self.time_scale,

@@ -1,0 +1,138 @@
+"""Billing-meter arithmetic: windows, rounding, and report aggregation."""
+
+import pytest
+
+from repro.cloud import BillingMeter, CostModel, CloudProvider, NodePool
+from repro.errors import CloudError
+from repro.sim import Engine
+
+
+def build_fleet(*pools, seed=0):
+    engine = Engine()
+    provider = CloudProvider(pools, seed=seed)
+    provider.bind(engine)
+    return engine, provider
+
+
+class TestCostModel:
+    def test_per_second_rounding(self):
+        model = CostModel(billing_increment=1.0)
+        assert model.billed_seconds(0.2) == 1.0
+        assert model.billed_seconds(59.0) == 59.0
+
+    def test_hourly_increment(self):
+        model = CostModel(billing_increment=3600.0)
+        assert model.billed_seconds(1.0) == 3600.0
+        assert model.billed_seconds(3600.0) == 3600.0
+        assert model.billed_seconds(3601.0) == 7200.0
+
+    def test_minimum_charge(self):
+        model = CostModel(minimum_charge=60.0)
+        assert model.billed_seconds(5.0) == 60.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CloudError):
+            CostModel(billing_increment=0.0)
+        with pytest.raises(CloudError):
+            CostModel(minimum_charge=-1.0)
+        with pytest.raises(CloudError, match="negative span"):
+            CostModel().billed_seconds(-1.0)
+
+
+class TestNodeCost:
+    def test_unreleased_node_bills_to_horizon(self):
+        _, provider = build_fleet(
+            NodePool(name="od", slots_per_node=16, price_per_hour=3.6,
+                     initial_nodes=1)
+        )
+        meter = BillingMeter()
+        assert meter.node_cost(provider.nodes[0], end=1800.0) == pytest.approx(
+            1.8
+        )
+
+    def test_boot_window_is_billed(self):
+        engine, provider = build_fleet(
+            NodePool(name="od", slots_per_node=16, price_per_hour=3.6,
+                     provision_delay=600.0)
+        )
+        node = provider.request_node()
+        engine.run()  # node ready at t=600
+        assert engine.now == 600.0
+        # billed from request (t=0), not from ready
+        assert BillingMeter().node_cost(node, end=600.0) == pytest.approx(0.6)
+
+    def test_teardown_tail_inside_window_is_billed(self):
+        engine, provider = build_fleet(
+            NodePool(name="od", slots_per_node=16, price_per_hour=3.6,
+                     initial_nodes=1, teardown_delay=300.0)
+        )
+        provider.release_node(provider.nodes[0])
+        # released at t=0: the 300s teardown window bills, nothing more
+        assert BillingMeter().node_cost(
+            provider.nodes[0], end=3600.0
+        ) == pytest.approx(0.3)
+
+    def test_billing_is_clipped_at_the_horizon(self):
+        """A release landing beyond the window bills only to the end.
+
+        Guards the spot-weather artifact: interruption timers drawn far
+        past the last completion must not bill phantom node-hours.
+        """
+        engine, provider = build_fleet(
+            NodePool(name="od", slots_per_node=16, price_per_hour=3.6,
+                     initial_nodes=1, teardown_delay=300.0)
+        )
+        provider.release_node(provider.nodes[0])  # released_at = 300
+        assert BillingMeter().node_cost(
+            provider.nodes[0], end=100.0
+        ) == pytest.approx(0.1)
+
+
+class TestReport:
+    def make_report(self, **kwargs):
+        engine, provider = build_fleet(
+            NodePool(name="od", slots_per_node=16, price_per_hour=3.6,
+                     initial_nodes=1),
+            NodePool(name="spot", slots_per_node=16, price_per_hour=1.8,
+                     initial_nodes=1, spot=True),
+        )
+        defaults = dict(
+            nodes=provider.nodes, end=3600.0, jobs_completed=10,
+            busy_slot_seconds=16 * 3600.0,
+            capacity_slot_seconds=32 * 3600.0, interruptions=3,
+        )
+        defaults.update(kwargs)
+        return BillingMeter().report(**defaults)
+
+    def test_pool_breakdown_and_totals(self):
+        report = self.make_report()
+        assert report.total_cost == pytest.approx(5.4)
+        assert report.ondemand_cost == pytest.approx(3.6)
+        assert report.spot_cost == pytest.approx(1.8)
+        assert report.per_pool_cost == {
+            "od": pytest.approx(3.6), "spot": pytest.approx(1.8)
+        }
+        assert report.node_hours == pytest.approx(2.0)
+        assert report.nodes_provisioned == 2
+        assert report.interruptions == 3
+
+    def test_unit_costs(self):
+        report = self.make_report()
+        assert report.cost_per_job == pytest.approx(0.54)
+        assert report.cost_per_busy_slot_hour == pytest.approx(5.4 / 16.0)
+        assert report.elastic_utilization == pytest.approx(0.5)
+
+    def test_zero_jobs_is_infinite_cost_per_job(self):
+        report = self.make_report(jobs_completed=0, busy_slot_seconds=0.0)
+        assert report.cost_per_job == float("inf")
+        assert report.cost_per_busy_slot_hour == float("inf")
+
+    def test_as_dict_round_trips_scalars(self):
+        report = self.make_report()
+        d = report.as_dict()
+        assert d["total_cost"] == report.total_cost
+        assert d["interruptions"] == report.interruptions
+        assert "cost_per_busy_slot_hour" in d
+
+    def test_describe_mentions_money(self):
+        assert "$" in self.make_report().describe()

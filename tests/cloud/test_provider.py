@@ -1,0 +1,185 @@
+"""Node-pool validation and provider lifecycle over the event engine."""
+
+import pytest
+
+from repro.cloud import CloudProvider, NodePool, NodeState
+from repro.errors import CloudError, ProvisioningError
+from repro.sim import Engine
+
+
+def pool(**kwargs):
+    defaults = dict(name="ondemand", slots_per_node=16, price_per_hour=0.68)
+    defaults.update(kwargs)
+    return NodePool(**defaults)
+
+
+class TestNodePoolValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(CloudError, match="name"):
+            pool(name="")
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(CloudError, match="slots_per_node"):
+            pool(slots_per_node=0)
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(CloudError, match="price"):
+            pool(price_per_hour=-0.1)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(CloudError, match="delays"):
+            pool(provision_delay=-1.0)
+
+    def test_rejects_inverted_fleet_bounds(self):
+        with pytest.raises(CloudError, match="min_nodes"):
+            pool(min_nodes=5, max_nodes=2)
+
+    def test_rejects_initial_outside_bounds(self):
+        with pytest.raises(CloudError, match="initial_nodes"):
+            pool(initial_nodes=9, max_nodes=4)
+
+    def test_rejects_lifetime_on_ondemand(self):
+        with pytest.raises(CloudError, match="spot"):
+            pool(mean_lifetime=3600.0)
+
+    def test_rejects_nonpositive_lifetime(self):
+        with pytest.raises(CloudError, match="mean_lifetime"):
+            pool(spot=True, mean_lifetime=0.0)
+
+
+class TestProviderLifecycle:
+    def test_requires_pool(self):
+        with pytest.raises(CloudError, match="at least one pool"):
+            CloudProvider([])
+
+    def test_rejects_duplicate_pool_names(self):
+        with pytest.raises(CloudError, match="unique"):
+            CloudProvider([pool(), pool()])
+
+    def test_initial_fleet_is_ready_at_bind(self):
+        engine = Engine()
+        provider = CloudProvider([pool(initial_nodes=3)])
+        provider.bind(engine)
+        assert provider.ready_slots == 48
+        assert all(n.state == NodeState.READY for n in provider.nodes)
+        assert all(n.requested_at == 0.0 for n in provider.nodes)
+
+    def test_request_node_arrives_after_provision_delay(self):
+        engine = Engine()
+        provider = CloudProvider([pool(provision_delay=90.0)])
+        ready = []
+        provider.bind(engine, on_ready=ready.append)
+        node = provider.request_node()
+        assert node.state == NodeState.PROVISIONING
+        assert provider.ready_slots == 0
+        engine.run()
+        assert engine.now == 90.0
+        assert ready == [node]
+        assert node.state == NodeState.READY
+        assert provider.ready_slots == 16
+
+    def test_request_respects_max_nodes(self):
+        engine = Engine()
+        provider = CloudProvider([pool(max_nodes=1)])
+        provider.bind(engine)
+        provider.request_node()
+        with pytest.raises(ProvisioningError, match="max_nodes"):
+            provider.request_node()
+        assert not provider.has_headroom()
+
+    def test_cancel_during_boot_never_joins(self):
+        engine = Engine()
+        provider = CloudProvider([pool(provision_delay=60.0)])
+        ready = []
+        provider.bind(engine, on_ready=ready.append)
+        node = provider.request_node()
+        provider.cancel_node(node)
+        engine.run()
+        assert ready == []
+        assert node.state == NodeState.RELEASED
+        assert node.released_at == 0.0
+
+    def test_drain_bookkeeping_releases_at_zero(self):
+        engine = Engine()
+        provider = CloudProvider([pool(initial_nodes=1, teardown_delay=30.0)])
+        provider.bind(engine)
+        node = provider.nodes[0]
+        provider.begin_drain(node)
+        assert node.drain_remaining == 16
+        assert provider.drained(node, 10) is False
+        assert provider.drained(node, 6) is True
+        assert node.state == NodeState.RELEASED
+        # teardown window still bills
+        assert node.released_at == engine.now + 30.0
+
+    def test_drain_rejects_overdrain(self):
+        engine = Engine()
+        provider = CloudProvider([pool(initial_nodes=1)])
+        provider.bind(engine)
+        node = provider.nodes[0]
+        provider.begin_drain(node)
+        with pytest.raises(ProvisioningError, match="drained"):
+            provider.drained(node, 17)
+
+
+class TestSpotInterruptions:
+    def spot_pool(self, **kwargs):
+        defaults = dict(name="spot", spot=True, mean_lifetime=600.0,
+                        initial_nodes=2, price_per_hour=0.2,
+                        slots_per_node=8)
+        defaults.update(kwargs)
+        return NodePool(**defaults)
+
+    def test_interruptions_fire_and_count(self):
+        engine = Engine()
+        provider = CloudProvider([self.spot_pool()], seed=1)
+        hits = []
+        provider.bind(engine, on_interrupt=lambda n, s: hits.append((n, s)))
+        engine.run()
+        assert provider.interruptions == 2
+        assert len(hits) == 2
+        for node, slots_held in hits:
+            assert node.interrupted
+            assert node.state == NodeState.RELEASED
+            assert slots_held == 8
+            assert node.released_at is not None
+
+    def test_interruption_times_are_seed_deterministic(self):
+        times = []
+        for _ in range(2):
+            engine = Engine()
+            provider = CloudProvider([self.spot_pool()], seed=42)
+            stamps = []
+            provider.bind(
+                engine, on_interrupt=lambda n, s: stamps.append(engine.now)
+            )
+            engine.run()
+            times.append(tuple(stamps))
+        assert times[0] == times[1]
+        other = Engine()
+        provider = CloudProvider([self.spot_pool()], seed=43)
+        stamps = []
+        provider.bind(other, on_interrupt=lambda n, s: stamps.append(other.now))
+        other.run()
+        assert tuple(stamps) != times[0]
+
+    def test_released_node_never_interrupts(self):
+        engine = Engine()
+        provider = CloudProvider([self.spot_pool(initial_nodes=1)], seed=5)
+        hits = []
+        provider.bind(engine, on_interrupt=lambda n, s: hits.append(n))
+        provider.release_node(provider.nodes[0])
+        engine.run()
+        assert hits == []
+        assert provider.interruptions == 0
+
+    def test_interrupt_mid_drain_reports_remaining_slots(self):
+        engine = Engine()
+        provider = CloudProvider([self.spot_pool(initial_nodes=1)], seed=1)
+        hits = []
+        provider.bind(engine, on_interrupt=lambda n, s: hits.append(s))
+        node = provider.nodes[0]
+        provider.begin_drain(node)
+        provider.drained(node, 5)
+        engine.run()
+        assert hits == [3]

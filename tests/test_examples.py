@@ -1,0 +1,49 @@
+"""Smoke tests for every script under ``examples/``.
+
+Each example runs as a real subprocess under a tight wall-clock budget,
+so API drift in the library breaks CI here instead of breaking the first
+user who copies a snippet.  Examples are demos, not benchmarks: one that
+cannot finish inside the budget is itself a regression.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+#: Seconds one example may take (generous: the slowest is ~2s today).
+BUDGET = 90
+
+
+def test_examples_are_discovered():
+    assert len(EXAMPLES) >= 6, "examples/ went missing?"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=BUDGET,
+        cwd=str(REPO_ROOT),
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
