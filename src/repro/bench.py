@@ -18,8 +18,12 @@ committed baseline:
 ``--suite sweep`` (:func:`run_sweep_bench`) instead measures the sweep
 layer: cold grid throughput, the warm (fully trial-cached) re-run's hit
 rate, and the one-cell-edit incremental re-run — the ``BENCH_sweep.json``
-trajectory.  See ``benchmarks/README.md`` for both JSON schemas and how
-CI consumes the committed baselines.
+trajectory.  ``--suite cloud`` (:func:`run_cloud_bench`) measures the
+elastic-capacity layer: :class:`CloudScheduleSimulator` events/sec under
+heavy spot churn at two sizes (the flatness check for the capacity
+paths) plus one serial pass over the autoscaler × policy grid —
+``BENCH_cloud.json``.  See ``benchmarks/README.md`` for the JSON schemas
+and how CI consumes the committed baselines.
 
 Absolute events/sec is hardware-bound, so every result also carries a
 ``normalized`` value: events/sec divided by a fixed pure-Python
@@ -47,18 +51,25 @@ __all__ = [
     "calibration_score",
     "bench_engine_churn",
     "bench_simulator",
+    "bench_cloud_churn",
+    "bench_cloud_grid",
     "run_bench",
     "run_sweep_bench",
+    "run_cloud_bench",
     "compare_results",
     "format_results",
     "DEFAULT_SIZES",
     "DEFAULT_OUTPUT",
     "DEFAULT_SWEEP_OUTPUT",
+    "DEFAULT_CLOUD_OUTPUT",
 ]
 
 DEFAULT_SIZES = (1_000, 10_000, 100_000)
 DEFAULT_OUTPUT = "BENCH_policy_engine.json"
 DEFAULT_SWEEP_OUTPUT = "BENCH_sweep.json"
+DEFAULT_CLOUD_OUTPUT = "BENCH_cloud.json"
+#: Spot-churn workload sizes for the cloud suite.
+CLOUD_CHURN_SIZES = (2_000, 20_000)
 #: Largest size the O(n log n)-per-event reference engine is asked to run.
 DEFAULT_REFERENCE_MAX = 10_000
 CHURN_SLOTS = 256
@@ -244,6 +255,114 @@ def run_bench(
     }
 
 
+#: The cloud churn fleet: spot-heavy and volatile, so interruptions,
+#: forced evictions, drains, and regrows all flow through the policy
+#: engine's capacity transitions.
+def _churn_scenario():
+    from .cloud.sweep import CloudScenario
+
+    return CloudScenario(
+        initial_nodes=2, min_nodes=2, max_nodes=8,
+        spot_nodes=4, spot_mean_lifetime=900.0, provision_delay=60.0,
+    )
+
+
+def bench_cloud_churn(n_jobs: int, seed: int = 18) -> Dict:
+    """End-to-end cloud-simulator throughput under heavy spot churn.
+
+    Bounds what the elastic-capacity layer adds on top of the
+    fixed-capacity hot path; runs through :func:`repro.cloud.sweep
+    .run_cloud_once` so the measured stack is exactly the `repro cloud`
+    wiring.
+    """
+    from .cloud.sweep import run_cloud_once
+
+    scenario = _churn_scenario()
+    _reset_rss_peak()
+    begin = time.perf_counter()
+    result, simulator = run_cloud_once(
+        "elastic", "queue", scenario, submission_gap=15.0, seed=seed,
+        num_jobs=n_jobs, retain="metrics", with_simulator=True,
+    )
+    seconds = time.perf_counter() - begin
+    events = simulator.engine.events_executed
+    assert result.metrics.job_count == n_jobs
+    return {
+        "jobs": n_jobs,
+        "events": events,
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(events / seconds, 2),
+        "peak_rss_kb": _peak_rss_kb(),
+        "interruptions": result.cost.interruptions,
+    }
+
+
+def bench_cloud_grid(num_jobs: int = 24, seed: int = 5) -> Dict:
+    """One serial pass over the full autoscaler × policy grid.
+
+    Runs every cell in-process (no pool, no trial cache) so the measured
+    events/sec is the grid's intrinsic simulation cost — the `repro cloud
+    sweep` workload with the parallel machinery factored out.
+    """
+    from .cloud.autoscaler import AUTOSCALER_NAMES
+    from .cloud.sweep import run_cloud_once
+    from .scheduling.policies import POLICY_NAMES
+
+    cells = 0
+    events = 0
+    _reset_rss_peak()
+    begin = time.perf_counter()
+    for autoscaler_name in AUTOSCALER_NAMES:
+        for policy_name in POLICY_NAMES:
+            result, simulator = run_cloud_once(
+                policy_name, autoscaler_name, submission_gap=60.0,
+                seed=seed, num_jobs=num_jobs, retain="metrics",
+                with_simulator=True,
+            )
+            assert result.metrics.job_count == num_jobs
+            events += simulator.engine.events_executed
+            cells += 1
+    seconds = time.perf_counter() - begin
+    return {
+        "jobs": cells * num_jobs,
+        "cells": cells,
+        "events": events,
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(events / seconds, 2),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_cloud_bench(
+    churn_sizes: Sequence[int] = CLOUD_CHURN_SIZES,
+    progress=None,
+) -> Dict:
+    """The ``--suite cloud`` benchmarks → the ``BENCH_cloud.json`` document."""
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    say("calibrating machine score...")
+    calibration = calibration_score()
+    results: Dict[str, Dict] = {}
+    for n in sorted(churn_sizes):
+        say(f"spot churn, {n} jobs...")
+        results[f"cloud_churn_{n}"] = bench_cloud_churn(n)
+    say("autoscaler x policy grid...")
+    results["cloud_grid"] = bench_cloud_grid()
+    for row in results.values():
+        row["normalized"] = round(row["events_per_sec"] / calibration, 6)
+    return {
+        "benchmark": "cloud",
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calibration_ops_per_sec": round(calibration, 2),
+        "results": results,
+    }
+
+
 def run_sweep_bench(
     trials: int = 10,
     gaps: Sequence[float] = (0.0, 150.0, 300.0),
@@ -414,8 +533,8 @@ def format_results(document: Dict) -> str:
     if document.get("benchmark") == "sweep":
         return _format_sweep_results(document)
     lines = [
-        f"# policy-engine bench — python {document['python']} "
-        f"({document['machine']}), "
+        f"# {document.get('benchmark', 'policy_engine')} bench — python "
+        f"{document['python']} ({document['machine']}), "
         f"calibration {document['calibration_ops_per_sec']:.0f} ops/s",
         f"{'scenario':>18} {'jobs':>8} {'events':>9} {'seconds':>9} "
         f"{'events/s':>11} {'norm':>9} {'rss_kb':>9}",
@@ -469,7 +588,7 @@ def main_bench(args) -> int:
     progress = lambda msg: print(f"... {msg}", file=sys.stderr)  # noqa: E731
     suite = getattr(args, "suite", "engine")
     output = args.output
-    if suite == "sweep":
+    if suite in ("sweep", "cloud"):
         # Refuse engine-only flags rather than silently dropping them
         # (or "passing" a gate that never ran).
         for flag, value in (("--min-speedup", args.min_speedup),
@@ -482,9 +601,14 @@ def main_bench(args) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        document = run_sweep_bench(progress=progress)
-        if output is None:
-            output = DEFAULT_SWEEP_OUTPUT
+        if suite == "sweep":
+            document = run_sweep_bench(progress=progress)
+            if output is None:
+                output = DEFAULT_SWEEP_OUTPUT
+        else:
+            document = run_cloud_bench(progress=progress)
+            if output is None:
+                output = DEFAULT_CLOUD_OUTPUT
     else:
         sizes_arg = args.sizes if args.sizes is not None else "1000,10000,100000"
         sizes = tuple(int(s) for s in sizes_arg.split(",") if s.strip())
@@ -505,7 +629,7 @@ def main_bench(args) -> int:
         write_results(document, output)
         print(f"[results written to {output}]")
     status = 0
-    if suite != "sweep" and args.min_speedup is not None:
+    if suite == "engine" and args.min_speedup is not None:
         problem = check_speedup(document, args.min_speedup, args.speedup_jobs)
         if problem:
             print(f"SPEEDUP GATE FAILED: {problem}", file=sys.stderr)

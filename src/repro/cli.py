@@ -426,10 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "regression vs a committed baseline.",
     )
     bench.add_argument("--suite", default="engine",
-                       choices=("engine", "sweep"),
+                       choices=("engine", "sweep", "cloud"),
                        help="'engine' = churn/simulator throughput (default); "
                             "'sweep' = sweep throughput + trial-cache "
-                            "hit rates (BENCH_sweep.json)")
+                            "hit rates (BENCH_sweep.json); 'cloud' = "
+                            "spot-churn and autoscaler-grid events/sec "
+                            "(BENCH_cloud.json)")
     bench.add_argument("--sizes", default=None,
                        help="comma-separated job counts (engine suite only; "
                             "default: 1000,10000,100000)")
@@ -439,8 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "suite only; default 10000)")
     bench.add_argument("--output", default=None,
                        help="where to write the JSON results ('' to skip; "
-                            "default: BENCH_policy_engine.json or "
-                            "BENCH_sweep.json per --suite)")
+                            "default: BENCH_policy_engine.json, "
+                            "BENCH_sweep.json, or BENCH_cloud.json "
+                            "per --suite)")
     bench.add_argument("--baseline", default=None,
                        help="committed BENCH_*.json to gate against; "
                             "non-zero exit on >threshold regression")

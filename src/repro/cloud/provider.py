@@ -175,6 +175,12 @@ class CloudProvider:
         self.pools: Tuple[NodePool, ...] = pools
         self.seed = int(seed)
         self.nodes: List[Node] = []
+        #: Nodes not yet released (provisioning/ready/draining).  The
+        #: per-event capacity views iterate this instead of ``nodes``:
+        #: on a long spot-churny run the full ledger grows with every
+        #: replacement ever provisioned (billing needs it), which turned
+        #: the views — called on every scheduling event — quadratic.
+        self._live: List[Node] = []
         self.interruptions = 0
         self._engine = None
         self._on_ready: Optional[Callable[[Node], None]] = None
@@ -213,6 +219,7 @@ class CloudProvider:
                 node.state = NodeState.READY
                 node.ready_at = engine.now
                 self.nodes.append(node)
+                self._live.append(node)
                 self._schedule_interruption(node)
 
     def _require_engine(self):
@@ -227,24 +234,24 @@ class CloudProvider:
     def nodes_in(self, pool: NodePool, *states: NodeState) -> List[Node]:
         wanted = states or (NodeState.PROVISIONING, NodeState.READY,
                             NodeState.DRAINING)
-        return [n for n in self.nodes if n.pool is pool and n.state in wanted]
+        return [n for n in self._live if n.pool is pool and n.state in wanted]
 
     @property
     def ready_slots(self) -> int:
         """Slots on ready nodes (what the scheduler can currently hold)."""
-        return sum(n.slots for n in self.nodes if n.state == NodeState.READY)
+        return sum(n.slots for n in self._live if n.state == NodeState.READY)
 
     @property
     def active_nodes(self) -> List[Node]:
         """Nodes the fleet counts for scaling: provisioning or ready."""
         return [
-            n for n in self.nodes
+            n for n in self._live
             if n.state in (NodeState.PROVISIONING, NodeState.READY)
         ]
 
     @property
     def draining_nodes(self) -> List[Node]:
-        return [n for n in self.nodes if n.state == NodeState.DRAINING]
+        return [n for n in self._live if n.state == NodeState.DRAINING]
 
     @property
     def min_total_nodes(self) -> int:
@@ -286,7 +293,10 @@ class CloudProvider:
             raise ProvisioningError(f"pool {pool.name!r} is at max_nodes")
         node = Node(next(self._ids), pool, engine.now)
         self.nodes.append(node)
-        engine.schedule(pool.provision_delay, self._node_ready, node)
+        self._live.append(node)
+        # Never cancelled (cancel_node flips the node's state and the
+        # callback self-guards), so the plain-entry path applies.
+        engine.post(pool.provision_delay, self._node_ready, node)
         return node
 
     def has_headroom(self) -> bool:
@@ -314,6 +324,7 @@ class CloudProvider:
             )
         node.state = NodeState.RELEASED
         node.released_at = self._engine.now
+        self._live.remove(node)
 
     def begin_drain(self, node: Node) -> None:
         """Cordon a ready node: its slots leave the cluster as they free."""
@@ -351,6 +362,7 @@ class CloudProvider:
         node.state = NodeState.RELEASED
         node.drain_remaining = 0
         node.released_at = self._engine.now + node.pool.teardown_delay
+        self._live.remove(node)
 
     # ------------------------------------------------------------------
     # Spot interruptions
@@ -361,7 +373,8 @@ class CloudProvider:
         if rng is None:
             return
         lifetime = float(rng.exponential(node.pool.mean_lifetime))
-        self._engine.schedule(lifetime, self._interrupt, node)
+        # Reclaims on released nodes no-op in _interrupt; never cancelled.
+        self._engine.post(lifetime, self._interrupt, node)
 
     def _interrupt(self, node: Node) -> None:
         if node.state not in (NodeState.READY, NodeState.DRAINING):
@@ -374,6 +387,7 @@ class CloudProvider:
         node.state = NodeState.RELEASED
         node.drain_remaining = 0
         node.interrupted = True
+        self._live.remove(node)
         # A reclaimed instance is gone now — no teardown grace is billed.
         node.released_at = self._engine.now
         self.interruptions += 1

@@ -139,6 +139,14 @@ class CloudScheduleSimulator(ScheduleSimulator):
         #: drawn beyond the workload belong to nobody's experiment.
         self._interruptions_in_window = 0
         self._tick_timer = None
+        #: When the next autoscaler evaluation is due (None = disarmed).
+        #: Scheduling events postpone this deadline instead of cancelling
+        #: and re-pushing the tick timer on every submit/finish; the armed
+        #: timer fires, notices it is early, and re-arms itself at the
+        #: current deadline — one heap push per elapsed tick interval
+        #: instead of one per scheduling event, with evaluations landing
+        #: at exactly the times the cancel-and-reschedule scheme produced.
+        self._tick_deadline = None
 
     # ------------------------------------------------------------------
     # Run
@@ -240,21 +248,28 @@ class CloudScheduleSimulator(ScheduleSimulator):
 
     def _cluster_state(self) -> ClusterState:
         queue = self.policy.queue
+        # The queue's aggregate demand is an O(1) counter on
+        # IndexedJobList; a custom policy_engine_cls exposing a plain
+        # list pays the literal sum.
+        demand = getattr(queue, "min_replicas_total", None)
+        if demand is None:
+            demand = sum(j.request.min_replicas for j in queue)
         # Scaling arithmetic uses the first pool's node size; multi-pool
         # fleets are assumed roughly homogeneous (see autoscaler module).
         spn = self.provider.pools[0].slots_per_node
+        free = self.policy.free_slots
+        active = self.provider.active_nodes
         return ClusterState(
             now=self.engine.now,
             total_slots=self.policy.total_slots,
-            used_slots=self.policy.total_slots - self.policy.free_slots,
-            free_slots=self.policy.free_slots,
+            used_slots=self.policy.total_slots - free,
+            free_slots=free,
             running_jobs=len(self.policy.running),
             queued_jobs=len(queue),
-            queued_demand=sum(j.request.min_replicas for j in queue),
-            nodes=len(self.provider.active_nodes),
+            queued_demand=demand,
+            nodes=len(active),
             pending_nodes=sum(
-                1 for n in self.provider.active_nodes
-                if n.state == NodeState.PROVISIONING
+                1 for n in active if n.state == NodeState.PROVISIONING
             ),
             slots_per_node=spn,
         )
@@ -345,8 +360,12 @@ class CloudScheduleSimulator(ScheduleSimulator):
         autoscaler that won't (or can't) act stops ticking — the event
         heap then drains and the simulator's unfinished-job diagnosis
         surfaces, instead of an infinite idle tick loop.
+
+        The deadline only ever moves *later* here, so the armed timer
+        (which fires no later than any postponed deadline) is left in
+        place and re-arms itself on a premature firing — see
+        :meth:`_on_tick`.
         """
-        self._cancel_tick()
         in_flight = (
             state.running_jobs > 0
             or self._arrived_count < self._submitted_count
@@ -354,16 +373,32 @@ class CloudScheduleSimulator(ScheduleSimulator):
             or bool(self.provider.draining_nodes)
         )
         if acted or in_flight:
-            self._tick_timer = self.engine.schedule(
-                self.tick, self._on_tick
-            )
+            self._tick_deadline = due = self.engine.now + self.tick
+            if self._tick_timer is None:
+                self._tick_timer = self.engine.schedule_at(due, self._on_tick)
+        else:
+            self._cancel_tick()
 
     def _on_tick(self) -> None:
-        self._tick_timer = None
+        timer, self._tick_timer = self._tick_timer, None
+        due = self._tick_deadline
+        if due is None:
+            return
+        now = self.engine.now
+        if due > now:
+            # Scheduling events postponed the evaluation; re-arm at the
+            # current deadline (reusing the fired handle's slot when
+            # possible) rather than evaluating early.
+            self._tick_timer = self.engine.reschedule_at(
+                timer, due, self._on_tick
+            )
+            return
+        self._tick_deadline = None
         self._push_drains()
         self._autoscale()
 
     def _cancel_tick(self) -> None:
+        self._tick_deadline = None
         if self._tick_timer is not None:
             self._tick_timer.cancel()
             self._tick_timer = None

@@ -171,8 +171,15 @@ def run_cloud_once(
     num_jobs: int = 16,
     retain: str = "full",
     tracer=None,
-) -> CloudSimulationResult:
-    """Simulate one workload draw on one (policy, autoscaler) cell."""
+    with_simulator: bool = False,
+):
+    """Simulate one workload draw on one (policy, autoscaler) cell.
+
+    Returns the :class:`CloudSimulationResult`; with ``with_simulator``
+    the pair ``(result, simulator)`` instead, so callers that need the
+    engine's counters (the cloud benchmark suite) share this exact
+    wiring instead of duplicating it.
+    """
     scenario = scenario or CloudScenario()
     provider = CloudProvider(scenario.pools(), seed=seed)
     simulator = CloudScheduleSimulator(
@@ -186,7 +193,10 @@ def run_cloud_once(
     spec = WorkloadSpec(
         num_jobs=num_jobs, submission_gap=submission_gap, seed=seed
     )
-    return simulator.run(generate_workload(spec), retain=retain)
+    result = simulator.run(generate_workload(spec), retain=retain)
+    if with_simulator:
+        return result, simulator
+    return result
 
 
 def cloud_trial_task(

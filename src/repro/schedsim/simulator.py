@@ -45,8 +45,26 @@ __all__ = ["ScheduleSimulator", "SimulationResult", "DISK_BANDWIDTH"]
 #: a shared filesystem; we model a modest networked disk).
 DISK_BANDWIDTH = 200e6  # bytes/s
 
+#: Dispatch-table miss sentinel (``None`` is a valid "no-op" handler).
+_UNRESOLVED = object()
 
-@dataclass
+#: Decision routing, ordered for the subclass-fallback isinstance walk
+#: (subclasses before their bases: ResumeJob outranks StartJob).  The
+#: per-instance dispatch dict and the fallback resolver are both built
+#: from this single table; handlers are attribute names so bound methods
+#: resolve per simulator (honouring subclass overrides).
+_DECISION_ROUTES = (
+    (ResumeJob, "_resume"),
+    (StartJob, "_start"),
+    (ShrinkJob, "_rescale"),
+    (ExpandJob, "_rescale"),
+    (PreemptJob, "_preempt"),
+    (RequeueJob, "_evict"),
+    (EnqueueJob, None),
+)
+
+
+@dataclass(slots=True)
 class _RunningJob:
     """Progress bookkeeping for one running job."""
 
@@ -55,15 +73,26 @@ class _RunningJob:
     remaining_steps: float
     replicas: int
     step_time: object  # callable replicas -> seconds
+    #: Per-size-class memo of ``step_time(replicas)`` — the model is a
+    #: pure piecewise interpolation over at most ``total_slots`` integer
+    #: replica counts, shared by every job of the class.
+    step_cache: dict
     data_bytes: int
     progress_start: float  # when stepping (re)starts after overheads
     finish_timer: object = None
     rescale_overhead_paid: float = 0.0
 
+    def current_step_time(self) -> float:
+        replicas = self.replicas
+        cached = self.step_cache.get(replicas)
+        if cached is None:
+            cached = self.step_cache[replicas] = float(self.step_time(replicas))
+        return cached
+
     def steps_done_by(self, now: float) -> float:
         if now <= self.progress_start:
             return 0.0
-        return (now - self.progress_start) / self.step_time(self.replicas)
+        return (now - self.progress_start) / self.current_step_time()
 
 
 @dataclass
@@ -98,6 +127,28 @@ class ScheduleSimulator:
         self.overhead = overhead or RescaleOverheadModel()
         self._running: Dict[str, _RunningJob] = {}
         self._paused: Dict[str, _RunningJob] = {}  # preempted, on disk
+        #: Per-job performance profile ``(total_steps, step_time_model,
+        #: data_bytes)``, resolved once at registration: a job may
+        #: (re)start several times — spot evictions and preemptions
+        #: restart it from the queue — and before PR 5 every restart
+        #: re-derived the size class and model from ``params``.
+        self._profiles: Dict[str, tuple] = {}
+        #: size-class name -> (default_steps, step_time_model, data_bytes,
+        #: step-time memo); collapses the registry lookups per arrival
+        #: into one dict hit.
+        self._size_profiles: Dict[str, tuple] = {}
+        #: (from, to, data_bytes) -> rescale overhead seconds; the model
+        #: is pure and the key space is bounded by replica counts × size
+        #: classes, so the memo stays small and exact.
+        self._overhead_memo: Dict[tuple, float] = {}
+        # Decision application is a dict dispatch on the concrete decision
+        # type, built once per simulator (bound methods, so subclass
+        # overrides of the handlers resolve here).  Unknown concrete types
+        # fall back to one isinstance walk over the same routing table.
+        self._dispatch: Dict[type, Optional[object]] = {
+            base: (handler and getattr(self, handler))
+            for base, handler in _DECISION_ROUTES
+        }
         # Full sample lists under retain="full"; O(1) streaming busy
         # integrals under retain="metrics" (set before submissions land).
         self._timelines: Dict[str, object] = {}
@@ -109,6 +160,9 @@ class ScheduleSimulator:
         self._accumulator: Optional[MetricsAccumulator] = None
         self._stream: Optional[Iterator[Submission]] = None
         self._last_submit_time = float("-inf")
+        #: Resolved once per run (streaming mode only): the policy's
+        #: ``retire`` hook, looked up outside the per-completion path.
+        self._retire = None
 
     # ------------------------------------------------------------------
 
@@ -154,12 +208,13 @@ class ScheduleSimulator:
             # (guarded: custom policy_engine_cls may predate the flag).
             if hasattr(self.policy, "keep_decision_log"):
                 self.policy.keep_decision_log = False
+            self._retire = getattr(self.policy, "retire", None)
         if isinstance(submissions, Sequence):
             if not submissions:
                 raise SchedulingError("workload is empty")
             for sub in submissions:
                 self._register(sub)
-                self.engine.schedule_at(sub.time, self._on_submit, sub)
+                self.engine.post_at(sub.time, self._on_submit, sub)
         else:
             self._stream = iter(submissions)
             if not self._schedule_next_submission():
@@ -206,6 +261,22 @@ class ScheduleSimulator:
         if name in self._submissions:
             raise SchedulingError(f"duplicate job name {name!r} in workload")
         self._submissions[name] = sub
+        # Resolve the performance profile once: restarts after evictions/
+        # preemptions must not re-derive it from params every time.
+        params = sub.request.params
+        class_name = params["size_class"]
+        base = self._size_profiles.get(class_name)
+        if base is None:
+            size = size_class(class_name)
+            base = (size.timesteps, step_time_model(size), size.data_bytes, {})
+            self._size_profiles[class_name] = base
+        steps = params.get("timesteps")
+        self._profiles[name] = (
+            float(steps) if steps is not None else float(base[0]),
+            base[1],
+            base[2],
+            base[3],
+        )
         self._timelines[name] = (
             StreamingTimeline() if self._streaming else ReplicaTimeline()
         )
@@ -223,7 +294,8 @@ class ScheduleSimulator:
             )
         self._last_submit_time = sub.time
         self._register(sub)
-        self.engine.schedule_at(sub.time, self._on_submit, sub)
+        # Arrivals are never cancelled: use the engine's plain-entry path.
+        self.engine.post_at(sub.time, self._on_submit, sub)
         return True
 
     def _on_submit(self, sub: Submission) -> None:
@@ -233,22 +305,35 @@ class ScheduleSimulator:
             self._schedule_next_submission()
 
     def _on_finish(self, name: str) -> None:
-        job = self._running.pop(name)
-        self._timelines[name].record(self.engine.now, 0)
+        self._running.pop(name)
+        now = self.engine.now
+        self._timelines[name].record(now, 0)
         self._completed_count += 1
-        decisions = self.policy.on_complete(name, self.engine.now)
+        decisions = self.policy.on_complete(name, now)
         self._apply(decisions)
         if self._accumulator is not None:
-            # Streaming aggregation: fold the outcome in and free the
-            # per-job state; the timeline is final once replicas hit 0.
-            # The policy engine's record is retired afterwards so its
-            # job map stays bounded by running + queued jobs.
-            self._accumulator.add(self._outcome(name))
+            # Streaming aggregation: fold the outcome in as scalars (no
+            # JobOutcome per completion) and free the per-job state; the
+            # timeline is final once replicas hit 0.  The policy engine's
+            # record is retired afterwards so its job map stays bounded
+            # by running + queued jobs.
+            record = self.policy.job(name)
+            sub = self._submissions[name]
+            end = record.completion_time
+            self._accumulator.add_raw(
+                name,
+                sub.request.priority,
+                record.submit_time,
+                record.start_time,
+                end,
+                self._timelines[name].slot_seconds(end),
+                sub.request.params.get("user"),
+            )
             del self._timelines[name]
             del self._submissions[name]
-            retire = getattr(self.policy, "retire", None)
-            if retire is not None:
-                retire(name)
+            del self._profiles[name]
+            if self._retire is not None:
+                self._retire(name)
         else:
             self._completed.append(name)
 
@@ -257,53 +342,66 @@ class ScheduleSimulator:
     # ------------------------------------------------------------------
 
     def _apply(self, decisions) -> None:
+        dispatch = self._dispatch
         for decision in decisions:
-            name = decision.job.name
-            if isinstance(decision, ResumeJob):
-                self._resume(name, decision.replicas)
-            elif isinstance(decision, StartJob):
-                self._start(name, decision.replicas)
-            elif isinstance(decision, (ShrinkJob, ExpandJob)):
-                self._rescale(name, decision.to_replicas)
-            elif isinstance(decision, PreemptJob):
-                self._preempt(name)
-            elif isinstance(decision, RequeueJob):
-                self._evict(name)
-            elif isinstance(decision, EnqueueJob):
-                pass
-            else:  # pragma: no cover - future decision kinds
-                raise TypeError(f"unknown decision {decision!r}")
+            handler = dispatch.get(type(decision), _UNRESOLVED)
+            if handler is _UNRESOLVED:
+                handler = self._resolve_handler(decision)
+            if handler is not None:
+                handler(decision)
 
-    def _start(self, name: str, replicas: int) -> None:
-        sub = self._submissions[name]
-        size = size_class(sub.request.params["size_class"])
-        model = step_time_model(size)
+    def _resolve_handler(self, decision):
+        """Resolve (and cache) the handler for a decision subclass.
+
+        The dispatch table is keyed on concrete types; a decision class
+        the table has never seen walks one isinstance pass over the same
+        ``_DECISION_ROUTES`` the table was built from, and the answer is
+        cached so subsequent instances hit the dict.
+        """
+        for base, handler in _DECISION_ROUTES:
+            if isinstance(decision, base):
+                resolved = handler and getattr(self, handler)
+                self._dispatch[type(decision)] = resolved
+                return resolved
+        raise TypeError(f"unknown decision {decision!r}")
+
+    def _start(self, decision) -> None:
+        name = decision.job.name
+        steps, model, data_bytes, step_cache = self._profiles[name]
+        now = self.engine.now
         job = _RunningJob(
             name=name,
-            total_steps=float(sub.request.params.get("timesteps", size.timesteps)),
-            remaining_steps=float(sub.request.params.get("timesteps", size.timesteps)),
-            replicas=replicas,
+            total_steps=steps,
+            remaining_steps=steps,
+            replicas=decision.replicas,
             step_time=model,
-            data_bytes=size.data_bytes,
-            progress_start=self.engine.now,  # §4.3.1: no startup overhead
+            step_cache=step_cache,
+            data_bytes=data_bytes,
+            progress_start=now,  # §4.3.1: no startup overhead
         )
         self._running[name] = job
-        self._timelines[name].record(self.engine.now, replicas)
-        self._schedule_finish(job)
+        self._timelines[name].record(now, decision.replicas)
+        self._schedule_finish(job, now)
 
-    def _rescale(self, name: str, new_replicas: int) -> None:
+    def _rescale(self, decision) -> None:
+        name = decision.job.name
+        new_replicas = decision.to_replicas
         job = self._running[name]
         now = self.engine.now
         done = job.steps_done_by(now)
         job.remaining_steps = max(0.0, job.remaining_steps - done)
-        overhead = self.overhead.total(job.replicas, new_replicas, job.data_bytes)
+        memo_key = (job.replicas, new_replicas, job.data_bytes)
+        overhead = self._overhead_memo.get(memo_key)
+        if overhead is None:
+            overhead = self.overhead.total(*memo_key)
+            self._overhead_memo[memo_key] = overhead
         job.rescale_overhead_paid += overhead
         job.replicas = new_replicas
         job.progress_start = now + overhead
         self._timelines[name].record(now, new_replicas)
-        self._schedule_finish(job)
+        self._schedule_finish(job, now)
 
-    def _evict(self, name: str) -> None:
+    def _evict(self, decision) -> None:
         """A spot interruption took the job's node: all progress is lost.
 
         Unlike :meth:`_preempt` there is no checkpoint on disk — the job
@@ -311,14 +409,16 @@ class ScheduleSimulator:
         again from step zero (the next :class:`StartJob` rebuilds the
         progress record from the original submission).
         """
+        name = decision.job.name
         job = self._running.pop(name)
         if job.finish_timer is not None:
             job.finish_timer.cancel()
             job.finish_timer = None
         self._timelines[name].record(self.engine.now, 0)
 
-    def _preempt(self, name: str) -> None:
+    def _preempt(self, decision) -> None:
         """Checkpoint a running job to disk and stop it (§3.2.2)."""
+        name = decision.job.name
         job = self._running.pop(name)
         now = self.engine.now
         done = job.steps_done_by(now)
@@ -329,26 +429,35 @@ class ScheduleSimulator:
         self._paused[name] = job
         self._timelines[name].record(now, 0)
 
-    def _resume(self, name: str, replicas: int) -> None:
+    def _resume(self, decision) -> None:
         """Restart a preempted job from its disk checkpoint."""
+        name = decision.job.name
         job = self._paused.pop(name)
-        job.replicas = replicas
+        job.replicas = decision.replicas
+        now = self.engine.now
         # Pay the disk write (at preemption) + read (now) in one delay.
         restore = 2.0 * job.data_bytes / DISK_BANDWIDTH
-        job.progress_start = self.engine.now + restore
+        job.progress_start = now + restore
         self._running[name] = job
-        self._timelines[name].record(self.engine.now, replicas)
-        self._schedule_finish(job)
+        self._timelines[name].record(now, decision.replicas)
+        self._schedule_finish(job, now)
 
-    def _schedule_finish(self, job: _RunningJob) -> None:
-        if job.finish_timer is not None:
-            job.finish_timer.cancel()
-        finish_at = job.progress_start + job.remaining_steps * job.step_time(
-            job.replicas
-        )
-        job.finish_timer = self.engine.schedule_at(
-            max(finish_at, self.engine.now), self._on_finish, job.name
-        )
+    def _schedule_finish(self, job: _RunningJob, now: float) -> None:
+        finish_at = job.progress_start + job.remaining_steps * job.current_step_time()
+        if finish_at < now:
+            finish_at = now
+        timer = job.finish_timer
+        if timer is not None:
+            # Rescale hot path: re-arm the existing handle in place (one
+            # epoch bump + push) instead of cancel/allocate/push; the old
+            # heap entry dies by epoch validation when it surfaces.
+            job.finish_timer = self.engine.reschedule_at(
+                timer, finish_at, self._on_finish, job.name
+            )
+        else:
+            job.finish_timer = self.engine.schedule_at(
+                finish_at, self._on_finish, job.name
+            )
 
     # ------------------------------------------------------------------
 

@@ -53,7 +53,17 @@ jobs and block size ``B``:
   shrinks during a walk, so a skipped block can never become startable
   again.  This removes the O(queue) scan behind the 100k-job throughput
   cliff: a completion whose budget starts nobody costs O(queue/B), not
-  O(queue).
+  O(queue);
+* the *running* side of the same merge (PR 5) skips whole blocks with
+  no expandable member: ``expandable == 0`` (every member at its
+  maximum) or ``now - oldest_action < gap`` (``oldest_action`` is a
+  lower bound on the members' ``last_action``, so no member can be
+  rescale-gap-eligible).  Skipped runners would have emitted nothing
+  and consumed no budget, so the decision sequence is untouched;
+* the Figure-2 dry run short-circuits to *infeasible* when the blocks'
+  total ``shrinkable`` sum cannot cover the requested slots — priority
+  stops and gap ineligibility only ever reduce what the walk frees, so
+  the aggregate total is a sound upper bound.
 
 Decision sequences are **byte-identical** to the preserved pre-
 optimization engine (:mod:`repro.scheduling._reference`); the golden
@@ -161,35 +171,37 @@ class ElasticPolicyEngine:
         if request.name in self._jobs:
             raise JobStateError(f"job {request.name!r} already submitted")
         job = SchedulerJob(request=request, submit_time=now)
-        self._jobs[job.name] = job
+        self._jobs[request.name] = job
         reserve = self.config.launcher_slots
+        req_min = request.min_replicas
+        req_max = request.max_replicas
         decisions: List[Decision] = []
 
         # replicas = min(freeSlots - 1, job.maxReplicas)
-        replicas = min(self.free_slots - reserve, job.max_replicas)
-        if replicas >= job.min_replicas:
+        avail = self.free_slots - reserve
+        replicas = avail if avail < req_max else req_max
+        if replicas >= req_min:
             decisions.append(self._start(job, replicas, now))
             return self._log(decisions)
 
         # Dry run: would shrinking lower-priority jobs free enough slots to
         # reach the new job's minimum?  (An aggregate query over the
-        # running blocks — no per-candidate walk on the common path.)
-        num_to_free = job.min_replicas - (self.free_slots - reserve)
-        if not self._shrink_feasible(job, now, num_to_free):
+        # running blocks — no per-candidate walk on the common path.  The
+        # dry run is pure, so ``avail`` is still current afterwards.)
+        if not self._shrink_feasible(job, now, req_min - avail):
             decisions.append(self._enqueue(job))
             return self._log(decisions)
 
         # Real pass: shrink towards freeing up to maxReplicas' worth.
-        min_to_free = job.min_replicas - (self.free_slots - reserve)
-        max_to_free = job.max_replicas - (self.free_slots - reserve)
         min_to_free = self._shrink_victims(
-            job, now, min_to_free, max_to_free, decisions
+            job, now, req_min - avail, req_max - avail, decisions
         )
         if min_to_free > 0:
             decisions.append(self._enqueue(job))
             return self._log(decisions)
 
-        replicas = min(self.free_slots - reserve, job.max_replicas)
+        avail = self.free_slots - reserve
+        replicas = avail if avail < req_max else req_max
         decisions.append(self._start(job, replicas, now))
         return self._log(decisions)
 
@@ -215,8 +227,14 @@ class ElasticPolicyEngine:
         lowest-priority member outranks it.  Mixed or possibly-ineligible
         blocks fall back to the literal item scan.
         """
+        # Upper-bound early out: the walk can never free more than the
+        # list's total shrinkable sum (priority stops and rescale-gap
+        # ineligibility only reduce it further), so an arrival needing
+        # more is infeasible without visiting a single candidate.
+        if self.running.shrinkable_total < num_to_free:
+            return False
         gap = self.config.rescale_gap
-        priority = job.priority
+        priority = job.request.priority
         blocks = self.running.blocks
         for b in range(len(blocks) - 1, -1, -1):
             block = blocks[b]
@@ -225,17 +243,18 @@ class ElasticPolicyEngine:
             if lo >= len(jobs):
                 continue  # only the protected job in here
             if now - block.newest_action >= gap:
-                if jobs[-1].priority > priority:
+                if jobs[-1].request.priority > priority:
                     # First candidate visited is eligible and outranks the
                     # arrival: the literal walk breaks here.
                     return False
-                if jobs[lo].priority <= priority:
+                if jobs[lo].request.priority <= priority:
                     # Every visitable member ranks at or below the arrival:
                     # credit the whole block (minus the protected job's
                     # share in block 0) without touching its members.
                     credit = block.shrinkable
                     if lo:
-                        extra = jobs[0].replicas - jobs[0].min_replicas
+                        head = jobs[0]
+                        extra = head.replicas - head.request.min_replicas
                         if extra > 0:
                             credit -= extra
                     num_to_free -= credit
@@ -246,9 +265,9 @@ class ElasticPolicyEngine:
                 candidate = jobs[i]
                 if now - candidate.last_action < gap:
                     continue
-                if candidate.priority > priority:
+                if candidate.request.priority > priority:
                     return False
-                extra = candidate.replicas - candidate.min_replicas
+                extra = candidate.replicas - candidate.request.min_replicas
                 if extra > 0:
                     num_to_free -= extra
                     if num_to_free <= 0:
@@ -302,9 +321,11 @@ class ElasticPolicyEngine:
             jobs = block.jobs
             lo = 1 if b == 0 else 0
             if lo < len(jobs):
-                if now - block.newest_action >= gap and jobs[-1].priority > priority:
+                if now - block.newest_action >= gap and (
+                    jobs[-1].request.priority > priority
+                ):
                     return min_to_free  # the literal walk breaks immediately
-                if block.shrinkable == 0 and jobs[lo].priority <= priority:
+                if block.shrinkable == 0 and jobs[lo].request.priority <= priority:
                     continue  # no victims and no stop condition in here
             for i in range(len(jobs) - 1, lo - 1, -1):
                 if max_to_free <= 0:
@@ -312,13 +333,14 @@ class ElasticPolicyEngine:
                 candidate = jobs[i]
                 if now - candidate.last_action < gap:
                     continue
-                if candidate.priority > priority:
+                if candidate.request.priority > priority:
                     return min_to_free
-                if candidate.replicas > candidate.min_replicas:
-                    new_replicas = max(
-                        candidate.min_replicas, candidate.replicas - max_to_free
-                    )
-                    old_replicas = candidate.replicas
+                floor = candidate.request.min_replicas
+                old_replicas = candidate.replicas
+                if old_replicas > floor:
+                    new_replicas = old_replicas - max_to_free
+                    if new_replicas < floor:
+                        new_replicas = floor
                     shrink = self._shrink(candidate, new_replicas, now)
                     if shrink is not None:
                         decisions.append(shrink)
@@ -332,7 +354,9 @@ class ElasticPolicyEngine:
     # ------------------------------------------------------------------
 
     def on_complete(self, name: str, now: float) -> List[Decision]:
-        job = self.job(name)
+        job = self._jobs.get(name)
+        if job is None:
+            raise JobStateError(f"unknown job {name!r}")
         if job.state != JobState.RUNNING:
             raise JobStateError(f"job {name!r} is {job.state.value}, not Running")
         # freeWorkers(job): release the job's pods.
@@ -367,22 +391,30 @@ class ElasticPolicyEngine:
     ) -> None:
         """Figure 3's hand-out of freed slots — indexed two-pointer merge.
 
-        Running candidates are visited one by one (their count is bounded
-        by ``total_slots``); on the queue side, whole blocks whose
-        cheapest member needs more than the remaining start budget are
-        skipped in O(1).  The budget only shrinks during a walk, so a
-        skipped queued candidate can never become startable later — the
-        emitted decision sequence is exactly the literal scan's
-        (:meth:`_redistribute_scan`, which time-dependent-priority
-        subclasses still use).
+        On the queue side, whole blocks whose cheapest member needs more
+        than the remaining start budget are skipped in O(1) — the budget
+        only shrinks during a walk, so a skipped queued candidate can
+        never become startable later.  On the running side (PR 5), whole
+        blocks with nothing to hand out are skipped from their
+        aggregates: every member at ``max_replicas`` (``expandable ==
+        0``), or no member past the rescale gap (``now - oldest_action <
+        gap``, with ``oldest_action`` a lower bound on the members'
+        ``last_action``).  A skipped running candidate would have emitted
+        nothing and consumed no budget, so the emitted decision sequence
+        is exactly the literal scan's (:meth:`_redistribute_scan`, which
+        time-dependent-priority subclasses still use).
         """
         reserve = self.config.launcher_slots
         gap = self.config.rescale_gap
         qblocks = self.queue.blocks
+        rblocks = self.running.blocks
+        nq = len(qblocks)
+        nr = len(rblocks)  # stable: the walk defers structural mutations
         qb = qi = 0
-        run_iter = iter(self.running)
-        runner = next(run_iter, None)
-        runner_key = priority_order_key(runner) if runner is not None else None
+        rb = ri = rn = 0
+        rjobs = None  # member run of the running block being walked
+        runner = None  # cached next possibly-expandable runner (+ its key)
+        runner_key = None
         queued = None  # cached next startable queued candidate (+ its key)
         queued_key = None
         while num_workers > 0:
@@ -392,52 +424,76 @@ class ElasticPolicyEngine:
             budget = num_workers - reserve
             if queued is not None and queued.request.min_replicas > budget:
                 queued = None
-            while queued is None and qb < len(qblocks):
+            while queued is None and qb < nq:
                 block = qblocks[qb]
                 if block.min_needed > budget:
                     qb += 1
                     qi = 0
                     continue
                 jobs = block.jobs
-                while qi < len(jobs):
+                jn = len(jobs)
+                while qi < jn:
                     candidate = jobs[qi]
                     if candidate.request.min_replicas <= budget:
                         queued = candidate
-                        queued_key = priority_order_key(candidate)
+                        queued_key = candidate.sort_key
                         break
                     qi += 1
                 if queued is None:
                     qb += 1
                     qi = 0
+            # Next running candidate, skipping whole blocks that provably
+            # cannot take slots (every member at max, or none past the
+            # rescale gap).  Expansions only touch aggregates of already-
+            # visited members (never block structure), so the cached
+            # member run stays valid for the whole walk.  Members of a
+            # block always carry a computed ``sort_key`` (add() built it).
+            if runner is None:
+                while True:
+                    if rjobs is not None and ri < rn:
+                        runner = rjobs[ri]
+                        runner_key = runner.sort_key
+                        ri += 1
+                        break
+                    rjobs = None
+                    if rb >= nr:
+                        break
+                    block = rblocks[rb]
+                    rb += 1
+                    if block.expandable == 0 or now - block.oldest_action < gap:
+                        continue
+                    rjobs = block.jobs
+                    rn = len(rjobs)
+                    ri = 0
             if runner is None and queued is None:
                 break
             if queued is None or (runner is not None and runner_key < queued_key):
                 candidate = runner
-                if (
-                    now - candidate.last_action >= gap
-                    and candidate.replicas < candidate.max_replicas
-                ):
-                    add = min(num_workers, candidate.max_replicas - candidate.replicas)
-                    if candidate.replicas + add >= candidate.min_replicas:
-                        decisions.append(
-                            self._expand(candidate, candidate.replicas + add, now)
-                        )
-                        num_workers -= add
-                runner = next(run_iter, None)
-                runner_key = (
-                    priority_order_key(runner) if runner is not None else None
-                )
+                runner = None
+                if now - candidate.last_action >= gap:
+                    replicas = candidate.replicas
+                    room = candidate.request.max_replicas - replicas
+                    if room > 0:
+                        add = room if room < num_workers else num_workers
+                        if replicas + add >= candidate.request.min_replicas:
+                            decisions.append(
+                                self._expand(candidate, replicas + add, now)
+                            )
+                            num_workers -= add
             else:
                 candidate = queued
                 queued = None
                 qi += 1  # the walk moves past this candidate either way
+                request = candidate.request
                 if (
                     now - candidate.last_action >= gap
-                    and candidate.replicas < candidate.max_replicas
+                    and candidate.replicas < request.max_replicas
                 ):
                     # Starting a queued job also needs its launcher slot.
-                    add = min(num_workers - reserve, candidate.max_replicas)
-                    if add >= candidate.min_replicas:
+                    add = num_workers - reserve
+                    if add > request.max_replicas:
+                        add = request.max_replicas
+                    if add >= request.min_replicas:
                         decisions.append(self._start_queued(candidate, add, now))
                         num_workers -= add + reserve
 
@@ -704,7 +760,10 @@ class ElasticPolicyEngine:
         return ExpandJob(job=job, from_replicas=old, to_replicas=new_replicas)
 
     def _validate_capacity(self, extra_slots: int) -> None:
-        if extra_slots > self.free_slots:
+        # Inline free-slot arithmetic: this guard runs on every start and
+        # expansion, and the ``free_slots`` property's own over-commit
+        # check is redundant right before a >= comparison.
+        if extra_slots > self.total_slots - self._used_slots:
             raise CapacityError(
                 f"decision needs {extra_slots} slots but only "
                 f"{self.free_slots} are free"

@@ -21,7 +21,7 @@ __all__ = ["JobRequest", "SchedulerJob", "JobState", "priority_order_key"]
 _seq = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JobRequest:
     """An immutable job submission.
 
@@ -71,13 +71,18 @@ class JobState(str, enum.Enum):
     COMPLETED = "Completed"
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerJob:
     """The policy engine's live record for one job."""
 
     request: JobRequest
     submit_time: float = 0.0
-    seq: int = field(default_factory=lambda: next(_seq))
+    seq: int = field(default_factory=_seq.__next__)
+    #: Cached :func:`priority_order_key` — every component is fixed at
+    #: construction (user priority, submission time, sequence), and the
+    #: sorted containers ask for the key often enough that rebuilding the
+    #: tuple showed up in trace-scale profiles.
+    sort_key: tuple = field(init=False, repr=False, compare=False, default=())
     state: JobState = JobState.QUEUED
     replicas: int = 0
     #: Time of the last scheduling event (create/shrink/expand); -inf means
@@ -121,6 +126,12 @@ def priority_order_key(job: SchedulerJob):
 
     Higher user priority first; among equals, earlier submission first
     (§3.2.1), with the submission sequence as the final deterministic
-    tie-break.
+    tie-break.  The tuple is immutable per job and cached on it.
     """
-    return (-job.priority, job.submit_time, job.seq)
+    return job.sort_key or _build_sort_key(job)
+
+
+def _build_sort_key(job: SchedulerJob) -> tuple:
+    key = (-job.request.priority, job.submit_time, job.seq)
+    job.sort_key = key
+    return key

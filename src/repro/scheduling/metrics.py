@@ -232,9 +232,20 @@ def bounded_slowdown(
     outcome: JobOutcome, threshold: float = BOUNDED_SLOWDOWN_THRESHOLD
 ) -> float:
     """max(1, (wait + run) / max(run, threshold)) for one finished job."""
-    run = outcome.completion_time - outcome.start_time
-    slowdown = outcome.turnaround_time / max(run, threshold)
-    return max(1.0, slowdown)
+    return _bounded_slowdown_scalar(
+        outcome.submit_time, outcome.start_time, outcome.completion_time,
+        threshold,
+    )
+
+
+def _bounded_slowdown_scalar(
+    submit: float, start: float, end: float, threshold: float
+) -> float:
+    """The bounded-slowdown formula on raw times — the single source of
+    truth shared by the outcome-object path and the streaming scalar path."""
+    run = end - start
+    slowdown = (end - submit) / (run if run > threshold else threshold)
+    return slowdown if slowdown > 1.0 else 1.0
 
 
 @dataclass(frozen=True)
@@ -290,7 +301,10 @@ class _FairnessTally:
 
     def add(self, outcome: JobOutcome) -> None:
         user = outcome.user if outcome.user is not None else "-"
-        value = bounded_slowdown(outcome, self.threshold)
+        self.add_raw(user, bounded_slowdown(outcome, self.threshold))
+
+    def add_raw(self, user: str, value: float) -> None:
+        """Fold one precomputed bounded slowdown for ``user``."""
         self._sums[user] = self._sums.get(user, 0.0) + value
         self._counts[user] = self._counts.get(user, 0) + 1
         self._total += value
@@ -354,16 +368,60 @@ class MetricsAccumulator:
         self._fairness = _FairnessTally()
 
     def add(self, outcome: JobOutcome) -> None:
-        """Fold one finished job into the running sums."""
-        outcome.validate()
+        """Fold one finished job into the running sums.
+
+        The window/weight arithmetic is inlined (rather than delegated to
+        ``validate()`` and the per-job time properties): this runs once
+        per completion in streaming mode, where the extra method calls
+        were measurable at trace scale.
+        """
+        self.add_raw(
+            outcome.name,
+            outcome.priority,
+            outcome.submit_time,
+            outcome.start_time,
+            outcome.completion_time,
+            outcome.timeline.slot_seconds(outcome.completion_time),
+            outcome.user,
+        )
+
+    def add_raw(
+        self,
+        name: str,
+        priority: int,
+        submit: float,
+        start: float,
+        end: float,
+        busy_slot_seconds: float,
+        user: Optional[str],
+    ) -> None:
+        """Fold one finished job given as scalars.
+
+        The streaming simulator path calls this directly so a trace-scale
+        run never materializes a :class:`JobOutcome` per completion; the
+        arithmetic (window bounds, priority-weighted sums, bounded
+        slowdown) is inlined for the same reason.
+        """
+        if not submit <= start <= end:
+            raise SchedulingError(
+                f"job {name}: submit <= start <= completion violated "
+                f"({submit}, {start}, {end})"
+            )
         self.job_count += 1
-        self._begin = min(self._begin, outcome.start_time)
-        self._end = max(self._end, outcome.completion_time)
-        self._busy += outcome.timeline.slot_seconds(outcome.completion_time)
-        self._weight += outcome.priority
-        self._weighted_response += outcome.priority * outcome.response_time
-        self._weighted_completion += outcome.priority * outcome.turnaround_time
-        self._fairness.add(outcome)
+        if start < self._begin:
+            self._begin = start
+        if end > self._end:
+            self._end = end
+        self._busy += busy_slot_seconds
+        self._weight += priority
+        self._weighted_response += priority * (start - submit)
+        self._weighted_completion += priority * (end - submit)
+        self._fairness.add_raw(
+            user if user is not None else "-",
+            _bounded_slowdown_scalar(
+                submit, start, end, self._fairness.threshold
+            ),
+        )
 
     @property
     def busy_slot_seconds(self) -> float:

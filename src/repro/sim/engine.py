@@ -9,8 +9,21 @@ Design notes
 ------------
 * Events are ordered by ``(time, sequence)`` so simulations are fully
   deterministic: two events at the same timestamp fire in scheduling order.
-* Timers are cancellable; cancellation marks the heap entry dead rather than
-  re-heapifying (standard lazy deletion).
+* Heap entries are plain tuples ``(time, seq, slot, epoch, fn, args)``:
+  ordering resolves by C-level tuple comparison and, because ``seq`` is
+  unique, the comparison never reaches the callback fields.  The pre-PR-5
+  engine kept a ``Timer`` *object* per entry whose Python ``__lt__`` built
+  two tuples per heap comparison — at trace scale that comparison cost,
+  not the policy logic, dominated the simulator profile.
+* Cancellation is epoch-validated rather than flagged: each cancellable
+  timer owns a slot in a free-list-recycled epoch array, and cancelling
+  (or rescheduling) bumps the slot's epoch so the stale heap entry is
+  recognized and dropped when it surfaces.  Nothing is ever removed from
+  the middle of the heap.
+* The never-cancelled majority of events (workload arrivals, one-shot
+  timeouts) can skip the slot machinery entirely via :meth:`Engine.post`
+  / :meth:`Engine.post_at` — no handle, no slot, just the tuple.
+* A live-timer counter makes :meth:`Engine.pending_count` O(1).
 * The engine is single-threaded and re-entrant: callbacks may schedule
   further events, create processes, or stop the simulation.
 """
@@ -24,32 +37,37 @@ from ..errors import SimError, StopSimulation
 
 __all__ = ["Engine", "Timer"]
 
+#: Slot value marking a non-cancellable (plain ``post``) heap entry.
+_NO_SLOT = -1
+
 
 class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     Instances are returned by :meth:`Engine.schedule` /
-    :meth:`Engine.schedule_at` and compare by their scheduled ``(time, seq)``
-    so they can live directly in the engine's heap.
+    :meth:`Engine.schedule_at`.  The handle holds ``(slot, epoch)`` into
+    the engine's epoch array — it never sits in the heap itself, so
+    cancelling is an O(1) epoch bump and the dead entry is dropped lazily
+    when it reaches the heap head.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("_engine", "slot", "epoch", "time", "seq")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, engine: "Engine", slot: int, epoch: int, time: float, seq: int):
+        self._engine = engine
+        self.slot = slot
+        self.epoch = epoch
         self.time = time
         self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the timer fired, was cancelled, or was rescheduled."""
+        return self._engine._slot_epoch[self.slot] != self.epoch
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
-        self.fn = None
-        self.args = ()
-
-    def __lt__(self, other: "Timer") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        self._engine._cancel_slot(self.slot, self.epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -78,7 +96,15 @@ class Engine:
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self._seq = 0
-        self._heap: List[Timer] = []
+        #: Entries are ``(time, seq, slot, epoch, fn, args)``; ``slot``
+        #: is ``_NO_SLOT`` for plain non-cancellable events.
+        self._heap: List[tuple] = []
+        #: Current epoch per timer slot; an entry whose epoch no longer
+        #: matches its slot's is dead.
+        self._slot_epoch: List[int] = []
+        self._free_slots: List[int] = []
+        #: Live (armed, non-cancelled) pending events — O(1) pending_count.
+        self._live = 0
         self._running = False
         self._stopped = False
         self._processes: List[Any] = []  # live Process objects (debugging aid)
@@ -106,19 +132,87 @@ class Engine:
         return self.schedule_at(self._now + delay, fn, *args)
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Timer:
-        """Schedule ``fn(*args)`` to run at absolute virtual ``time``."""
+        """Schedule ``fn(*args)`` at absolute virtual ``time``; cancellable."""
         if time < self._now:
             raise SimError(
                 f"cannot schedule into the past (time={time!r} < now={self._now!r})"
             )
-        timer = Timer(float(time), self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, timer)
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            epoch = self._slot_epoch[slot]
+        else:
+            slot = len(self._slot_epoch)
+            epoch = 0
+            self._slot_epoch.append(0)
+        time = float(time)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, slot, epoch, fn, args))
+        self._live += 1
+        return Timer(self, slot, epoch, time, seq)
+
+    def post(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule a *non-cancellable* ``fn(*args)`` ``delay`` seconds out.
+
+        The low-allocation fast path for the never-cancelled majority of
+        events (workload arrivals, fire-and-forget notifications): no
+        :class:`Timer` handle, no epoch slot — just the heap tuple.
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay!r})")
+        self.post_at(self._now + delay, fn, *args)
+
+    def post_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Non-cancellable :meth:`schedule_at` (see :meth:`post`)."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule into the past (time={time!r} < now={self._now!r})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (float(time), seq, _NO_SLOT, 0, fn, args))
+        self._live += 1
+
+    def reschedule_at(self, timer: Timer, time: float, fn: Callable, *args: Any) -> Timer:
+        """Atomically cancel ``timer`` and re-arm it at ``time``.
+
+        While the timer is still armed its slot is re-used in place — one
+        epoch bump plus one heap push, no handle or slot allocation —
+        which is what lets a per-job finish timer be moved on every
+        rescale without the cancel/allocate/push churn.  A timer that
+        already fired or was cancelled no longer owns its slot, so a
+        fresh one is returned instead; callers must keep the returned
+        handle either way.
+        """
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule into the past (time={time!r} < now={self._now!r})"
+            )
+        slot = timer.slot
+        epoch = timer.epoch
+        if self._slot_epoch[slot] != epoch:
+            return self.schedule_at(time, fn, *args)
+        epoch += 1
+        self._slot_epoch[slot] = epoch
+        timer.epoch = epoch
+        timer.time = time = float(time)
+        seq = self._seq
+        self._seq = seq + 1
+        timer.seq = seq
+        heapq.heappush(self._heap, (time, seq, slot, epoch, fn, args))
+        # _live is unchanged: one armed entry replaced another.
         return timer
 
     def call_soon(self, fn: Callable, *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at the current time (after pending events)."""
         return self.schedule_at(self._now, fn, *args)
+
+    def _cancel_slot(self, slot: int, epoch: int) -> None:
+        """Invalidate a slot's pending entry and recycle the slot."""
+        if self._slot_epoch[slot] == epoch:
+            self._slot_epoch[slot] = epoch + 1
+            self._free_slots.append(slot)
+            self._live -= 1
 
     # ------------------------------------------------------------------
     # Processes (defined in repro.sim.process; imported lazily to avoid a
@@ -148,7 +242,7 @@ class Engine:
         from .events import Event
 
         ev = Event(self)
-        self.schedule(delay, ev.succeed, value)
+        self.post(delay, ev.succeed, value)
         return ev
 
     # ------------------------------------------------------------------
@@ -158,7 +252,7 @@ class Engine:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the heap is empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` when idle."""
@@ -169,11 +263,15 @@ class Engine:
         return True
 
     def _execute_next(self) -> None:
-        """Pop and run the head timer (caller has dropped cancelled heads)."""
-        timer = heapq.heappop(self._heap)
-        self._now = timer.time
-        fn, args = timer.fn, timer.args
-        timer.cancel()  # free references; marks as consumed
+        """Pop and run the head entry (caller has dropped cancelled heads)."""
+        time, _seq, slot, epoch, fn, args = heapq.heappop(self._heap)
+        self._now = time
+        if slot >= 0:
+            # Retire the slot so the handle reads as consumed and the
+            # slot can be recycled.
+            self._slot_epoch[slot] = epoch + 1
+            self._free_slots.append(slot)
+        self._live -= 1
         self.events_executed += 1
         fn(*args)
 
@@ -200,27 +298,46 @@ class Engine:
         self._running = True
         self._stopped = False
         count = 0
+        # The hot loop binds the heap, the epoch array, and the free list
+        # once: all three are mutated in place (never rebound) by the
+        # scheduling calls that run inside callbacks.
+        heap = self._heap
+        epochs = self._slot_epoch
+        free = self._free_slots
+        heappop = heapq.heappop
+        bounded = until is not None or max_events is not None
         try:
-            # One heap inspection per iteration: drop cancelled heads once,
-            # read the head's time, pop and execute — rather than paying
-            # peek()'s sweep and then step()'s again for every event.
             while True:
                 if self._stopped:
                     break
-                self._drop_cancelled()
-                if not self._heap:
+                # Drop dead heads (epoch mismatch = cancelled/rescheduled).
+                while heap:
+                    head = heap[0]
+                    slot = head[2]
+                    if slot < 0 or epochs[slot] == head[3]:
+                        break
+                    heappop(heap)
+                if not heap:
                     break
-                if until is not None and self._heap[0].time > until:
-                    self._now = float(until)
-                    break
-                if max_events is not None and count >= max_events:
-                    raise SimError(f"exceeded max_events={max_events}")
-                self._execute_next()
+                if bounded:
+                    if until is not None and head[0] > until:
+                        self._now = float(until)
+                        break
+                    if max_events is not None and count >= max_events:
+                        raise SimError(f"exceeded max_events={max_events}")
+                time, _seq, slot, epoch, fn, args = heappop(heap)
+                self._now = time
+                if slot >= 0:
+                    epochs[slot] = epoch + 1
+                    free.append(slot)
+                self._live -= 1
                 count += 1
+                fn(*args)
         except StopSimulation:
             pass
         finally:
             self._running = False
+            self.events_executed += count
         if until is not None and self._now < until and self.peek() is None:
             # Nothing left to do; advance the clock to the horizon so
             # repeated run(until=...) calls observe monotonic time.
@@ -236,12 +353,18 @@ class Engine:
     # ------------------------------------------------------------------
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) pending timers."""
-        return sum(1 for t in self._heap if not t.cancelled)
+        """Number of live (non-cancelled) pending timers.  O(1)."""
+        return self._live
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        epochs = self._slot_epoch
+        while heap:
+            head = heap[0]
+            slot = head[2]
+            if slot < 0 or epochs[slot] == head[3]:
+                return
+            heapq.heappop(heap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now:.6g} pending={self.pending_count()}>"

@@ -19,6 +19,11 @@ from ..schedsim.workload import Submission
 from ..sim.rng import stream
 from .base import make_request
 
+#: Jobs drawn per vectorized RNG call in the chunked generation paths —
+#: large enough to amortize the per-call NumPy overhead, small enough
+#: that lazy sources keep their O(1)-ish memory profile.
+_DRAW_CHUNK = 1024
+
 __all__ = [
     "ArrivalProcess",
     "FixedGapArrivals",
@@ -73,10 +78,19 @@ class PoissonArrivals(ArrivalProcess):
         self.rate = float(rate)
 
     def times(self, rng, n: int) -> Iterator[float]:
+        # Chunked draws: one vectorized exponential per _DRAW_CHUNK jobs
+        # instead of a ~1µs scalar Generator call per arrival.  NumPy's
+        # vectorized sampling consumes the bit stream element-by-element,
+        # so the yielded times are identical to the scalar loop's.
         t = 0.0
-        for _ in range(n):
-            t += float(rng.exponential(1.0 / self.rate))
-            yield t
+        scale = 1.0 / self.rate
+        remaining = n
+        while remaining > 0:
+            k = _DRAW_CHUNK if remaining > _DRAW_CHUNK else remaining
+            for gap in rng.exponential(scale, size=k):
+                t += float(gap)
+                yield t
+            remaining -= k
 
     def describe(self) -> str:
         return f"poisson(rate={self.rate:g}/s)"
@@ -167,6 +181,18 @@ class JobMix:
     def sample(self, rng) -> Tuple[JobSizeClass, int, int]:
         raise NotImplementedError
 
+    def sample_many(self, rng, n: int) -> List[Tuple[JobSizeClass, int, int]]:
+        """Draw ``n`` jobs at once.
+
+        The default delegates to :meth:`sample` (identical stream
+        consumption); mixes with simple per-field distributions override
+        it with vectorized draws — note an override consumes the RNG
+        field-by-field rather than job-by-job, so its stream differs
+        from ``n`` scalar :meth:`sample` calls while the per-job
+        distribution is the same.
+        """
+        return [self.sample(rng) for _ in range(n)]
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -186,6 +212,17 @@ class UniformMix(JobMix):
         size = self.sizes[int(rng.integers(len(self.sizes)))]
         lo, hi = self.priority_range
         return size, int(rng.integers(lo, hi + 1)), size.timesteps
+
+    def sample_many(self, rng, n: int) -> List[Tuple[JobSizeClass, int, int]]:
+        sizes = self.sizes
+        lo, hi = self.priority_range
+        picks = rng.integers(len(sizes), size=n)
+        priorities = rng.integers(lo, hi + 1, size=n)
+        out = []
+        for pick, priority in zip(picks.tolist(), priorities.tolist()):
+            size = sizes[pick]
+            out.append((size, priority, size.timesteps))
+        return out
 
     def describe(self) -> str:
         return f"uniform({', '.join(s.name for s in self.sizes)})"
@@ -295,13 +332,22 @@ class SyntheticWorkload:
     def submissions(self) -> Iterator[Submission]:
         arrival_rng = stream(self.seed, "workloads-arrivals")
         mix_rng = stream(self.seed, "workloads-mix")
-        width = max(2, len(str(self.num_jobs - 1)))
-        for i, t in enumerate(self.arrivals.times(arrival_rng, self.num_jobs)):
-            size, priority, steps = self.mix.sample(mix_rng)
-            request = make_request(
-                name=f"{self.name_prefix}-{i:0{width}d}",
-                size=size,
-                priority=priority,
-                timesteps=steps,
-            )
-            yield Submission(time=t, request=request, size=size)
+        n = self.num_jobs
+        width = max(2, len(str(n - 1)))
+        prefix = self.name_prefix
+        times = self.arrivals.times(arrival_rng, n)
+        sample_many = self.mix.sample_many
+        i = 0
+        # Chunked draws keep the source lazy (memory stays O(chunk), not
+        # O(workload)) while amortizing the per-draw RNG call overhead.
+        while i < n:
+            k = _DRAW_CHUNK if n - i > _DRAW_CHUNK else n - i
+            for size, priority, steps in sample_many(mix_rng, k):
+                request = make_request(
+                    name=f"{prefix}-{i:0{width}d}",
+                    size=size,
+                    priority=priority,
+                    timesteps=steps,
+                )
+                yield Submission(time=next(times), request=request, size=size)
+                i += 1

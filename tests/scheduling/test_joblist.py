@@ -142,3 +142,68 @@ class TestAggregates:
         indexed.touch(job)
         assert indexed.blocks[0].newest_action == 1e9
         indexed.check_invariants()
+
+    def test_expandable_tracks_headroom(self):
+        """The PR-5 running-side aggregate: exact sum of max - replicas."""
+        jobs = make_jobs(30, seed=11)
+        indexed = IndexedJobList(jobs)
+        expected = sum(
+            max(0, j.request.max_replicas - j.replicas) for j in jobs
+        )
+        assert sum(b.expandable for b in indexed.blocks) == expected
+        # Expanding a member to its max drains its share of the sum.
+        job = jobs[4]
+        old = job.replicas
+        job.replicas = job.request.max_replicas
+        job.last_action += 1.0
+        indexed.rescaled(job, old)
+        assert sum(b.expandable for b in indexed.blocks) == expected - (
+            job.request.max_replicas - old
+        )
+        indexed.check_invariants()
+
+    def test_oldest_action_is_a_lower_bound_only(self):
+        """Rescales raise last_action; the stored minimum may go stale-low
+        but must never exceed the true minimum (the skip-safety contract)."""
+        jobs = make_jobs(8, seed=2)
+        indexed = IndexedJobList(jobs)
+        block = indexed.blocks[0]
+        true_min = min(j.last_action for j in block.jobs)
+        assert block.oldest_action <= true_min
+        job = min(block.jobs, key=lambda j: j.last_action)
+        old = job.replicas
+        job.last_action += 5000.0
+        indexed.rescaled(job, old)
+        # Bound untouched (stale-low) — still a valid lower bound.
+        assert block.oldest_action <= min(j.last_action for j in block.jobs)
+        indexed.check_invariants()
+
+    def test_min_replicas_total_is_o1_queue_demand(self):
+        indexed = IndexedJobList()
+        assert indexed.min_replicas_total == 0
+        jobs = make_jobs(40, seed=9)
+        for job in jobs:
+            indexed.add(job)
+        assert indexed.min_replicas_total == sum(
+            j.request.min_replicas for j in jobs
+        )
+        for job in jobs[:17]:
+            indexed.remove(job)
+        assert indexed.min_replicas_total == sum(
+            j.request.min_replicas for j in jobs[17:]
+        )
+
+    def test_min_needed_exact_with_duplicate_holders(self):
+        """Removing one of several min-holders must not rescan wrongly."""
+        indexed = IndexedJobList()
+        a = make_job(1, 3, min_replicas=2, max_replicas=8)
+        b = make_job(2, 3, min_replicas=2, max_replicas=8)
+        c = make_job(3, 3, min_replicas=5, max_replicas=8)
+        for job in (a, b, c):
+            indexed.add(job)
+        assert indexed.blocks[0].min_needed == 2
+        indexed.remove(a)
+        assert indexed.blocks[0].min_needed == 2  # b still holds it
+        indexed.remove(b)
+        assert indexed.blocks[0].min_needed == 5
+        indexed.check_invariants()

@@ -1,0 +1,254 @@
+"""Event-order determinism of the tuple-entry/epoch-slot engine (PR 5).
+
+The engine's contract is that callbacks fire in exactly ``(time, seq)``
+order — two events at the same timestamp fire in scheduling order, a
+cancelled timer never fires, and a rescheduled timer fires at its *new*
+``(time, seq)`` position.  PR 5 replaced the Timer-object heap with plain
+tuple entries validated by slot epochs, so this file pins the ordering
+contract two ways:
+
+* a golden scripted sequence covering same-timestamp ties, cancellation,
+  cancel-then-reschedule, and the plain ``post`` path;
+* a hypothesis property driving random schedule/post/cancel/reschedule
+  programs through the engine and through a deliberately naive reference
+  implementation (sorted list + cancelled set), asserting identical
+  firing sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+
+
+def test_golden_event_sequence():
+    """A scripted mix of posts, timers, ties, cancels, and reschedules."""
+    engine = Engine()
+    fired = []
+
+    engine.post_at(5.0, fired.append, "post@5-first")
+    t_cancelled = engine.schedule_at(2.0, fired.append, "never")
+    t_moved = engine.schedule_at(3.0, fired.append, "moved")
+    engine.schedule_at(5.0, fired.append, "timer@5-second")
+    engine.post_at(1.0, fired.append, "post@1")
+    t_cancelled.cancel()
+    # Reschedule from 3.0 to 5.0: fires at the new time, *after* the
+    # entries already queued at 5.0 (its sequence number is newer).
+    engine.reschedule_at(t_moved, 5.0, fired.append, "moved@5-third")
+    engine.schedule_at(0.5, fired.append, "early")
+    engine.run()
+
+    assert fired == [
+        "early",
+        "post@1",
+        "post@5-first",
+        "timer@5-second",
+        "moved@5-third",
+    ]
+
+
+def test_cancel_then_reschedule_uses_fresh_slot():
+    """Rescheduling a cancelled timer falls back to a fresh handle."""
+    engine = Engine()
+    fired = []
+    timer = engine.schedule_at(4.0, fired.append, "a")
+    timer.cancel()
+    fresh = engine.reschedule_at(timer, 6.0, fired.append, "b")
+    assert fresh is not timer
+    engine.run()
+    assert fired == ["b"]
+    assert engine.now == 6.0
+
+
+def test_reschedule_in_place_reuses_handle():
+    engine = Engine()
+    fired = []
+    timer = engine.schedule_at(4.0, fired.append, "x")
+    again = engine.reschedule_at(timer, 9.0, fired.append, "y")
+    assert again is timer
+    assert timer.time == 9.0
+    assert engine.pending_count() == 1
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_pending_count_tracks_cancel_fire_and_reuse():
+    engine = Engine()
+    timers = [engine.schedule_at(float(i + 1), lambda: None) for i in range(4)]
+    engine.post_at(0.5, lambda: None)
+    assert engine.pending_count() == 5
+    timers[0].cancel()
+    timers[0].cancel()  # idempotent
+    assert engine.pending_count() == 4
+    # A recycled slot must not resurrect the cancelled entry.
+    replacement = engine.schedule_at(2.5, lambda: None)
+    assert engine.pending_count() == 5
+    assert not replacement.cancelled
+    assert timers[0].cancelled
+    engine.run()
+    assert engine.pending_count() == 0
+
+
+def test_post_events_count_and_fire():
+    engine = Engine()
+    seen = []
+    engine.post(3.0, seen.append, 1)
+    engine.post(1.0, seen.append, 2)
+    end = engine.run()
+    assert seen == [2, 1]
+    assert end == 3.0
+    assert engine.events_executed == 2
+
+
+def test_cancelled_events_are_not_counted_as_executed():
+    engine = Engine()
+    keep = engine.schedule(1.0, lambda: None)
+    drop = engine.schedule(2.0, lambda: None)
+    drop.cancel()
+    engine.run()
+    assert keep.cancelled  # consumed
+    assert engine.events_executed == 1
+
+
+def test_reentrant_rescale_pattern_fires_in_order():
+    """The simulator's hot pattern, driven from inside callbacks.
+
+    A periodic "rescale" callback repeatedly re-arms a separate finish
+    timer (epoch bump + push from within a firing event, churning the
+    slot free list mid-run), then stops; the finish must fire exactly
+    once, at the final rescheduled time, after all rescale events.
+    """
+    engine = Engine()
+    fired = []
+    state = {}
+
+    def finish():
+        fired.append(("finish", engine.now))
+
+    def rescale(round_no):
+        fired.append(("rescale", engine.now))
+        # Move the finish timer out by 10s each round — exactly what
+        # _schedule_finish does on every ShrinkJob/ExpandJob.
+        state["finish"] = engine.reschedule_at(
+            state["finish"], engine.now + 10.0, finish
+        )
+        if round_no < 4:
+            engine.schedule(2.0, rescale, round_no + 1)
+        # Churn the free list from inside the callback: a cancelled
+        # sibling must neither fire nor disturb the finish timer's slot.
+        engine.schedule(1.0, fired.append, ("stray", round_no)).cancel()
+
+    state["finish"] = engine.schedule_at(5.0, finish)
+    engine.schedule_at(1.0, rescale, 0)
+    end = engine.run()
+
+    assert fired == [
+        ("rescale", 1.0),
+        ("rescale", 3.0),
+        ("rescale", 5.0),
+        ("rescale", 7.0),
+        ("rescale", 9.0),
+        ("finish", 19.0),
+    ]
+    assert end == 19.0
+    assert engine.pending_count() == 0
+
+
+def test_reentrant_cancel_of_later_event_same_run():
+    """Cancelling a not-yet-fired event from inside a callback holds."""
+    engine = Engine()
+    fired = []
+    victim = engine.schedule_at(5.0, fired.append, "victim")
+    engine.schedule_at(2.0, victim.cancel)
+    engine.schedule_at(2.0, fired.append, "after-cancel")
+    engine.run()
+    assert fired == ["after-cancel"]
+    assert engine.pending_count() == 0
+
+
+class _ReferenceEngine:
+    """Naive (time, seq)-sorted reference: no heap, no epochs, no slots."""
+
+    def __init__(self):
+        self._events = []  # (time, seq, live_flag_list, fn, args)
+        self._seq = 0
+        self.now = 0.0
+
+    def post_at(self, time, fn, *args):
+        self._events.append((float(time), self._seq, [True], fn, args))
+        self._seq += 1
+
+    def schedule_at(self, time, fn, *args):
+        flag = [True]
+        self._events.append((float(time), self._seq, flag, fn, args))
+        self._seq += 1
+        return flag
+
+    def cancel(self, flag):
+        flag[0] = False
+
+    def reschedule_at(self, flag, time, fn, *args):
+        flag[0] = False
+        return self.schedule_at(time, fn, *args)
+
+    def run(self):
+        for time, _seq, flag, fn, args in sorted(
+            self._events, key=lambda e: (e[0], e[1])
+        ):
+            if flag[0]:
+                self.now = time
+                fn(*args)
+
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["schedule", "post", "cancel", "reschedule"]),
+        st.integers(0, 20),  # time offset (small range forces ties)
+        st.integers(0, 9),  # which live timer to cancel/reschedule
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops)
+def test_engine_matches_reference_fire_order(ops):
+    """Random programs fire identically on the real and naive engines."""
+    engine = Engine()
+    reference = _ReferenceEngine()
+    real_fired = []
+    ref_fired = []
+    real_timers = []
+    ref_timers = []
+
+    for i, (op, offset, pick) in enumerate(ops):
+        time = float(offset)
+        if op == "schedule":
+            real_timers.append(
+                engine.schedule_at(time, real_fired.append, i)
+            )
+            ref_timers.append(
+                reference.schedule_at(time, ref_fired.append, i)
+            )
+        elif op == "post":
+            engine.post_at(time, real_fired.append, i)
+            reference.post_at(time, ref_fired.append, i)
+        elif op == "cancel" and real_timers:
+            j = pick % len(real_timers)
+            real_timers[j].cancel()
+            reference.cancel(ref_timers[j])
+        elif op == "reschedule" and real_timers:
+            j = pick % len(real_timers)
+            tag = ("moved", i)
+            real_timers[j] = engine.reschedule_at(
+                real_timers[j], time, real_fired.append, tag
+            )
+            ref_timers[j] = reference.reschedule_at(
+                ref_timers[j], time, ref_fired.append, tag
+            )
+
+    engine.run()
+    reference.run()
+    assert real_fired == ref_fired
+    assert engine.pending_count() == 0
