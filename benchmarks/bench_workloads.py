@@ -12,7 +12,7 @@ import io
 
 from benchmarks.conftest import once, trials_from_env
 from repro.schedsim import ScheduleSimulator, format_policy_table, sweep_submission_gap
-from repro.scheduling import make_policy
+from repro.scheduling.registry import REGISTRY
 from repro.workloads import (
     HeavyTailedMix,
     PoissonArrivals,
@@ -57,7 +57,7 @@ def test_swf_trace_through_simulator(benchmark, save_result):
 
     def run():
         trace = SWFTrace(parsed, time_scale=0.2)
-        simulator = ScheduleSimulator(make_policy("elastic"), total_slots=256)
+        simulator = ScheduleSimulator(REGISTRY.resolve("elastic"), total_slots=256)
         return simulator.run(trace.submissions(), retain="metrics")
 
     result = once(benchmark, run)
@@ -74,7 +74,7 @@ def test_1000_job_heavy_tail_all_policies(benchmark, save_result):
             source = SyntheticWorkload(
                 1_000, PoissonArrivals(0.1), HeavyTailedMix(), seed=11
             )
-            simulator = ScheduleSimulator(make_policy(policy), total_slots=256)
+            simulator = ScheduleSimulator(REGISTRY.resolve(policy), total_slots=256)
             rows.append(simulator.run(source.submissions(), retain="metrics"))
         return rows
 

@@ -44,8 +44,9 @@ from bisect import insort
 from random import Random
 from typing import Dict, List, Optional, Sequence
 
-from .scheduling import ElasticPolicyEngine, JobRequest, make_policy
+from .scheduling import ElasticPolicyEngine, JobRequest
 from .scheduling._reference import ReferenceElasticPolicyEngine
+from .scheduling.registry import REGISTRY
 
 __all__ = [
     "calibration_score",
@@ -172,7 +173,7 @@ def bench_engine_churn(n_jobs: int, seed: int = 7, reference: bool = False) -> D
     """Raw policy-engine throughput on the backlog-growing churn stream."""
     requests = _churn_workload(n_jobs, seed)
     engine_cls = ReferenceElasticPolicyEngine if reference else ElasticPolicyEngine
-    engine = engine_cls(CHURN_SLOTS, make_policy("elastic"))
+    engine = engine_cls(CHURN_SLOTS, REGISTRY.resolve("elastic"))
     if hasattr(engine, "keep_decision_log"):
         engine.keep_decision_log = False
     _reset_rss_peak()
@@ -188,15 +189,21 @@ def bench_engine_churn(n_jobs: int, seed: int = 7, reference: bool = False) -> D
     }
 
 
-def bench_simulator(n_jobs: int, seed: int = 11) -> Dict:
-    """End-to-end simulator throughput, streaming metrics mode."""
+def bench_simulator(n_jobs: int, seed: int = 11, policy: str = "elastic") -> Dict:
+    """End-to-end simulator throughput, streaming metrics mode.
+
+    ``policy`` is any registry-resolved name: the suite's ``easy_*`` row
+    drives the generalized (hooked) engine paths through a non-paper
+    policy so a regression in them is caught by the same gate as the
+    paper hot path.
+    """
     from .schedsim import ScheduleSimulator
     from .workloads import PoissonArrivals, SyntheticWorkload, UniformMix
 
     source = SyntheticWorkload(
         n_jobs, PoissonArrivals(SIM_RATE), UniformMix(), seed=seed
     )
-    simulator = ScheduleSimulator(make_policy("elastic"), total_slots=SIM_SLOTS)
+    simulator = ScheduleSimulator(REGISTRY.resolve(policy), total_slots=SIM_SLOTS)
     _reset_rss_peak()
     begin = time.perf_counter()
     result = simulator.run(source.submissions(), retain="metrics")
@@ -242,6 +249,18 @@ def run_bench(
     for n in sorted(sizes):
         say(f"simulator, {n} jobs...")
         results[f"simulator_{n}"] = bench_simulator(n)
+    # One registry-resolved non-paper policy row: EASY backfilling runs
+    # the generalized hook paths (_submit_backfill + _redistribute_scan),
+    # so a slowdown there is caught by the same normalized gate as the
+    # paper hot path.  Capped at 2k jobs: the Figure-3 scan EASY requires
+    # is O(backlog) per completion by design, so its wall time grows
+    # super-linearly on this saturating stream — 2k keeps the row at
+    # roughly one paper-row's cost while still building a deep backlog.
+    easy_n = min(2_000, max(sizes))
+    say(f"simulator (easy-backfill), {easy_n} jobs...")
+    results[f"simulator_easy_{easy_n}"] = bench_simulator(
+        easy_n, policy="easy-backfill"
+    )
     for row in results.values():
         row["normalized"] = round(row["events_per_sec"] / calibration, 6)
     return {
@@ -306,14 +325,13 @@ def bench_cloud_grid(num_jobs: int = 24, seed: int = 5) -> Dict:
     """
     from .cloud.autoscaler import AUTOSCALER_NAMES
     from .cloud.sweep import run_cloud_once
-    from .scheduling.policies import POLICY_NAMES
 
     cells = 0
     events = 0
     _reset_rss_peak()
     begin = time.perf_counter()
     for autoscaler_name in AUTOSCALER_NAMES:
-        for policy_name in POLICY_NAMES:
+        for policy_name in REGISTRY.paper_policies():
             result, simulator = run_cloud_once(
                 policy_name, autoscaler_name, submission_gap=60.0,
                 seed=seed, num_jobs=num_jobs, retain="metrics",
@@ -629,7 +647,7 @@ def main_bench(args) -> int:
         write_results(document, output)
         print(f"[results written to {output}]")
     status = 0
-    if suite == "engine" and args.min_speedup is not None:
+    if suite in ("engine", "policy_engine") and args.min_speedup is not None:
         problem = check_speedup(document, args.min_speedup, args.speedup_jobs)
         if problem:
             print(f"SPEEDUP GATE FAILED: {problem}", file=sys.stderr)

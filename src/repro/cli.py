@@ -9,7 +9,13 @@ provides the equivalents against the simulated cluster::
     python -m repro simulate [--trials N] [--workers N]  # artifact A2's run.py
     python -m repro fig4|fig5|fig6|fig7|fig8|fig9|table1
     python -m repro workloads list|show|run ...      # trace/synthetic scenarios
+    python -m repro policies list|show ...           # the scheduler registry
     python -m repro bench [--baseline BENCH_*.json]  # hot-path regression gate
+
+Policy names are resolved through the scheduler registry
+(:mod:`repro.scheduling.registry`), so third-party policies shipped via
+``repro.policies`` entry points appear in every ``--policy`` choice list
+next to the built-ins.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import argparse
 import sys
 
 from .errors import ReproError
+from .scheduling.registry import REGISTRY
 from .schedsim import WorkloadSpec, generate_workload
 
 __all__ = ["main"]
@@ -60,7 +67,14 @@ def _cmd_simulate(args) -> int:
     """The artifact A2 simulator run (Table 1 simulation columns)."""
     from .schedsim import compare_policies, format_policy_table
 
+    policies = None
+    if args.policies is not None:
+        policies = (
+            tuple(REGISTRY.list_policies()) if args.policies == "all"
+            else tuple(args.policies.split(","))
+        )
     stats = compare_policies(
+        policies=policies,
         submission_gap=args.gap, rescale_gap=args.rescale_gap, trials=args.trials,
         workers=args.workers,
     )
@@ -123,10 +137,12 @@ def _cmd_workloads(args) -> int:
         return 0
 
     # action == "run": drive the simulator with the source.
-    from .schedsim import POLICY_ORDER
     from .workloads.parallel import parallel_map, resolve_workers
 
-    policies = POLICY_ORDER if args.policy == "all" else (args.policy,)
+    policies = (
+        tuple(REGISTRY.list_policies()) if args.policy == "all"
+        else (args.policy,)
+    )
     print(f"# {source.name}: {len(source)} jobs, {args.slots} slots, "
           f"T={args.rescale_gap}s, retain={args.retain}")
     if resolve_workers(args.workers) > 1 and len(policies) > 1:
@@ -159,10 +175,9 @@ def _cmd_workloads(args) -> int:
 
 def _simulate_workload(submissions, policy_name, rescale_gap, slots, retain):
     from .schedsim import ScheduleSimulator
-    from .scheduling import make_policy
 
     simulator = ScheduleSimulator(
-        make_policy(policy_name, rescale_gap=rescale_gap), total_slots=slots
+        REGISTRY.resolve(policy_name, rescale_gap=rescale_gap), total_slots=slots
     )
     return simulator.run(submissions, retain=retain).metrics
 
@@ -218,7 +233,7 @@ def _cloud_scenario(args):
 def _cmd_cloud(args) -> int:
     """Run/sweep the elastic-capacity substrate with cost accounting."""
     from .cloud import AUTOSCALER_NAMES, compare_cloud, run_cloud_once
-    from .schedsim import POLICY_ORDER, format_cost_table
+    from .schedsim import format_cost_table
 
     scenario = _cloud_scenario(args)
     if args.action == "run":
@@ -241,7 +256,7 @@ def _cmd_cloud(args) -> int:
 
     # action == "sweep": the autoscaler x policy grid with cost columns.
     policies = (
-        POLICY_ORDER if args.policies == "all"
+        tuple(REGISTRY.list_policies()) if args.policies == "all"
         else tuple(args.policies.split(","))
     )
     autoscalers = (
@@ -265,6 +280,36 @@ def _cmd_cloud(args) -> int:
         title=f"cloud grid ({args.trials} trials, gap={args.gap:.0f}s, "
               f"{args.jobs} jobs)",
     ))
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    """Inspect the scheduler registry (`repro policies list|show`)."""
+    if args.action == "list":
+        names = REGISTRY.list_policies()
+        width = max(len(name) for name in names)
+        print(f"# {len(names)} registered policies (paper's four first)")
+        for name in names:
+            spec = REGISTRY.describe(name)
+            badges = ("paper",) if spec.paper and "paper" not in spec.tags else ()
+            badges += tuple(spec.tags)
+            suffix = f"  [{', '.join(badges)}]" if badges else ""
+            print(f"{name:<{width}}  {spec.description}{suffix}")
+        return 0
+
+    # action == "show": the full introspection card for one policy.
+    if args.name is None:
+        print("error: 'policies show' needs a policy name", file=sys.stderr)
+        return 2
+    spec = REGISTRY.describe(args.name)
+    print(f"name:        {spec.name}")
+    print(f"description: {spec.description or '(none)'}")
+    print(f"tags:        {', '.join(spec.tags) or '(none)'}")
+    print(f"paper:       {'yes' if spec.paper else 'no'}")
+    print(f"source:      {spec.source}")
+    factory = spec.factory
+    module = getattr(factory, "__module__", "?")
+    print(f"factory:     {module}.{getattr(factory, '__qualname__', factory)}")
     return 0
 
 
@@ -322,9 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--jobs", type=int, default=16)
     jobs.set_defaults(fn=_cmd_jobs)
 
+    # Choice lists come from the registry, so policies registered via
+    # ``repro.policies`` entry points are accepted everywhere built-ins
+    # are (and unknown names still exit with argparse's usage error).
+    policy_names = tuple(REGISTRY.list_policies())
+
     run = sub.add_parser("run", help="run one policy on the full k8s path")
-    run.add_argument("policy", choices=("elastic", "moldable", "min_replicas",
-                                        "max_replicas"))
+    run.add_argument("policy", choices=policy_names)
     run.add_argument("--seed", type=int, default=32)
     run.add_argument("--gap", type=float, default=90.0)
     run.add_argument("--jobs", type=int, default=16)
@@ -333,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run the scheduler simulator")
     simulate.add_argument("--trials", type=int, default=100)
+    simulate.add_argument("--policies", default=None,
+                          help="comma-separated policy names, or 'all' for "
+                               "every registered policy (default: the "
+                               "paper's four)")
     simulate.add_argument("--gap", type=float, default=90.0)
     simulate.add_argument("--rescale-gap", type=float, default=180.0)
     simulate.add_argument("--workers", type=int, default=None,
@@ -361,8 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--time-scale", type=float, default=1.0,
                            help="compress SWF arrival times and durations")
     workloads.add_argument("--policy", default="elastic",
-                           choices=("elastic", "moldable", "min_replicas",
-                                    "max_replicas", "all"))
+                           choices=policy_names + ("all",))
     workloads.add_argument("--rescale-gap", type=float, default=180.0)
     workloads.add_argument("--slots", type=int, default=64)
     workloads.add_argument("--retain", default="full",
@@ -379,9 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     cloud.add_argument("action", choices=("run", "sweep"))
-    cloud.add_argument("--policy", default="elastic",
-                       choices=("elastic", "moldable", "min_replicas",
-                                "max_replicas"))
+    cloud.add_argument("--policy", default="elastic", choices=policy_names)
     cloud.add_argument("--policies", default="all",
                        help="comma-separated policy list for sweep "
                             "(default: all)")
@@ -426,8 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "regression vs a committed baseline.",
     )
     bench.add_argument("--suite", default="engine",
-                       choices=("engine", "sweep", "cloud"),
-                       help="'engine' = churn/simulator throughput (default); "
+                       choices=("engine", "policy_engine", "sweep", "cloud"),
+                       help="'engine' = churn/simulator throughput (default; "
+                            "'policy_engine' is an alias matching the "
+                            "BENCH_policy_engine.json it writes); "
                             "'sweep' = sweep throughput + trial-cache "
                             "hit rates (BENCH_sweep.json); 'cloud' = "
                             "spot-churn and autoscaler-grid events/sec "
@@ -457,6 +509,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="job count the --min-speedup gate reads "
                             "(default 10000)")
     bench.set_defaults(fn=_cmd_bench)
+
+    policies = sub.add_parser(
+        "policies",
+        help="list/inspect the pluggable scheduler registry",
+        description="The scheduler registry: the paper's four policies, the "
+                    "literature policies (ewt, prb, easy-backfill), the "
+                    "power-capped scenario, and anything registered via "
+                    "'repro.policies' entry points.",
+    )
+    policies.add_argument("action", choices=("list", "show"))
+    policies.add_argument("name", nargs="?", default=None,
+                          help="policy name (required for 'show')")
+    policies.set_defaults(fn=_cmd_policies)
 
     for fig in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1"):
         p = sub.add_parser(fig, help=f"regenerate {fig}")

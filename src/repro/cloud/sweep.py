@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CloudError
-from ..scheduling import make_policy
+from ..scheduling.registry import REGISTRY
 from ..schedsim.cache import resolve_trial_cache
 from ..schedsim.workload import WorkloadSpec, generate_workload
 from .autoscaler import AUTOSCALER_NAMES, make_autoscaler
@@ -183,7 +183,7 @@ def run_cloud_once(
     scenario = scenario or CloudScenario()
     provider = CloudProvider(scenario.pools(), seed=seed)
     simulator = CloudScheduleSimulator(
-        make_policy(policy_name, rescale_gap=rescale_gap),
+        REGISTRY.resolve(policy_name, rescale_gap=rescale_gap),
         provider=provider,
         autoscaler=make_autoscaler(autoscaler_name),
         cost_model=CostModel(),
@@ -294,8 +294,7 @@ def _aggregate(
 
 
 def compare_cloud(
-    policies: Sequence[str] = ("elastic", "moldable", "min_replicas",
-                               "max_replicas"),
+    policies: Optional[Sequence[str]] = None,
     autoscalers: Sequence[str] = AUTOSCALER_NAMES,
     scenario: Optional[CloudScenario] = None,
     submission_gap: float = 90.0,
@@ -311,8 +310,11 @@ def compare_cloud(
     Returns one :class:`CloudTrialStats` per ``(autoscaler, policy)``
     cell; trial *i* of every cell shares seed ``base_seed + i`` (same
     workload draw *and* same spot weather), so cells are paired
-    comparisons exactly like the paper's policy tables.
+    comparisons exactly like the paper's policy tables.  ``policies``
+    defaults to the paper's four; any registry-resolved name works.
     """
+    if policies is None:
+        policies = ("elastic", "moldable", "min_replicas", "max_replicas")
     scenario = scenario or CloudScenario()
     cells = [(a, p) for a in autoscalers for p in policies]
     tasks = [

@@ -17,7 +17,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..apps import make_app_factory
 from ..k8s import make_eks_cluster
 from ..mpioperator import AppSpec, CharmJob, CharmJobController, CharmJobSpec, WorkerSpec
-from ..scheduling import ReplicaTimeline, SchedulerMetrics, make_policy
+from ..scheduling import ReplicaTimeline, SchedulerMetrics
+from ..scheduling.registry import REGISTRY
 from ..scheduling.controller import ElasticSchedulerController
 from ..schedsim import Submission
 from ..sim import Engine
@@ -111,7 +112,7 @@ def run_cluster_experiment(
     operator = CharmJobController(
         engine, cluster, app_factory=make_app_factory(), tracer=tracer
     )
-    policy = make_policy(
+    policy = REGISTRY.resolve(
         policy_name, rescale_gap=rescale_gap, launcher_slots=K8S_LAUNCHER_SLOTS
     )
     scheduler = ElasticSchedulerController(

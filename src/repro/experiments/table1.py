@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from ..scheduling import SchedulerMetrics, make_policy
+from ..scheduling import SchedulerMetrics
+from ..scheduling.registry import REGISTRY
 from ..schedsim import ScheduleSimulator, WorkloadSpec, generate_workload
 from .ascii import render_table
 from .cluster_run import run_cluster_experiment
@@ -56,7 +57,9 @@ def run_table1(
             policy, submissions, rescale_gap=rescale_gap
         )
         actual[policy] = cluster_result.metrics
-        sim = ScheduleSimulator(make_policy(policy, rescale_gap=rescale_gap))
+        sim = ScheduleSimulator(
+            REGISTRY.resolve(policy, rescale_gap=rescale_gap)
+        )
         simulation[policy] = sim.run(submissions).metrics
     return Table1Result(actual=actual, simulation=simulation)
 

@@ -38,13 +38,21 @@ REPLICA_SAMPLE_POINTS = (1, 2, 4, 8, 16, 32, 64)
 
 @dataclass(frozen=True)
 class JobSizeClass:
-    """One row of the §4.3.1 job-size table."""
+    """One row of the §4.3.1 job-size table.
+
+    ``watts_per_replica`` extends the paper's table for the power-capped
+    scenario (:mod:`repro.scheduling.power`): nominal per-worker draw,
+    growing with the class's per-rank working set.  Not a paper number —
+    the paper never meters power — so the default keeps every paper
+    experiment byte-identical and only the power-capped policy reads it.
+    """
 
     name: str
     grid: int
     timesteps: int
     min_replicas: int
     max_replicas: int
+    watts_per_replica: float = 150.0
 
     @property
     def model(self) -> JacobiScalingModel:
@@ -62,13 +70,17 @@ class JobSizeClass:
 #: §4.3.1 verbatim: four Jacobi2D problem classes.
 JOB_SIZE_CLASSES: Dict[str, JobSizeClass] = {
     "small": JobSizeClass("small", grid=512, timesteps=40_000,
-                          min_replicas=2, max_replicas=8),
+                          min_replicas=2, max_replicas=8,
+                          watts_per_replica=100.0),
     "medium": JobSizeClass("medium", grid=2048, timesteps=40_000,
-                           min_replicas=4, max_replicas=16),
+                           min_replicas=4, max_replicas=16,
+                           watts_per_replica=150.0),
     "large": JobSizeClass("large", grid=8192, timesteps=40_000,
-                          min_replicas=8, max_replicas=32),
+                          min_replicas=8, max_replicas=32,
+                          watts_per_replica=200.0),
     "xlarge": JobSizeClass("xlarge", grid=16_384, timesteps=10_000,
-                           min_replicas=16, max_replicas=64),
+                           min_replicas=16, max_replicas=64,
+                           watts_per_replica=250.0),
 }
 
 

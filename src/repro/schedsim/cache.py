@@ -16,7 +16,10 @@ prefix-cache idea from LLM schedulers, applied to scheduler trials):
   change a trial's result (``repro.scheduling``, ``repro.schedsim``,
   ``repro.sim``, ``repro.perfmodel``, ``repro.workloads``, and
   ``repro.units``), so editing simulator code silently invalidates every
-  stale entry — no manual versioning to forget;
+  stale entry — no manual versioning to forget.  Registry-resolved
+  policies from *outside* the tree (``repro.policies`` entry points) are
+  covered too: their factory source is folded in via
+  :meth:`repro.scheduling.registry.SchedulerRegistry.external_salt`;
 * **store** — one small JSON file per trial, sharded two-hex-deep under
   the cache root, written atomically (tmp + rename) so parallel sweeps
   can share a cache directory.
@@ -94,7 +97,19 @@ class TrialCache:
 
     def __init__(self, root: Union[str, os.PathLike], salt: Optional[str] = None):
         self.root = os.fspath(root)
-        self.salt = salt if salt is not None else code_salt()
+        if salt is None:
+            salt = code_salt()
+            # Registry-resolved policies can live outside the salted
+            # source trees (entry-point plugins): fold their factory
+            # source into the salt so editing a plugin invalidates its
+            # cached trials exactly like an in-tree edit.  Empty for
+            # in-tree-only registries, keeping existing keys valid.
+            from ..scheduling.registry import REGISTRY
+
+            external = REGISTRY.external_salt()
+            if external:
+                salt = f"{salt}:{external}"
+        self.salt = salt
         self.hits = 0
         self.misses = 0
         self.writes = 0

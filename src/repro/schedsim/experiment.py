@@ -11,7 +11,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..perfmodel.overhead import RescaleOverheadModel
-from ..scheduling import SchedulerMetrics, make_policy
+from ..scheduling import SchedulerMetrics
+from ..scheduling.registry import REGISTRY
 from .simulator import ScheduleSimulator, SimulationResult
 from .workload import WorkloadSpec, generate_workload
 
@@ -55,7 +56,7 @@ def run_once(
     """Simulate one workload draw under one policy."""
     spec = WorkloadSpec(num_jobs=num_jobs, submission_gap=submission_gap, seed=seed)
     simulator = ScheduleSimulator(
-        make_policy(policy_name, rescale_gap=rescale_gap),
+        REGISTRY.resolve(policy_name, rescale_gap=rescale_gap),
         total_slots=total_slots,
         overhead=overhead,
     )
@@ -177,7 +178,7 @@ def compare_policies(
     submission_gap: float = 90.0,
     rescale_gap: float = 180.0,
     trials: int = DEFAULT_TRIALS,
-    policies: Sequence[str] = ("min_replicas", "max_replicas", "moldable", "elastic"),
+    policies: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
     base_seed: int = 0,
     total_slots: int = 64,
@@ -186,12 +187,19 @@ def compare_policies(
 ) -> Dict[str, TrialStats]:
     """One averaged row per policy — the Table-1 simulation columns.
 
+    ``policies`` defaults to the paper's four (in its presentation
+    order); any registry-resolved name — ``easy-backfill``,
+    ``power-capped``, a plugin's — drops into the same paired-trial
+    grid.
+
     With ``workers`` > 1 (or ``REPRO_WORKERS`` set) the whole policies x
     trials grid runs through one process pool instead of nested serial
     loops; with a trial cache only the not-yet-simulated cells run at
     all.  Either way per-trial results and aggregation order match the
     nested serial loops exactly.
     """
+    if policies is None:
+        policies = ("min_replicas", "max_replicas", "moldable", "elastic")
     tasks = [
         trial_task(name, submission_gap, rescale_gap, base_seed + i,
                    total_slots, num_jobs)

@@ -30,6 +30,9 @@ __all__ = [
     "POLICY_ORDER",
 ]
 
+#: The paper's presentation order for its four policies.  The figure
+#: sweeps default to it (they reproduce the paper); anything listing
+#: *available* policies should ask ``registry.list_policies()`` instead.
 POLICY_ORDER = ("elastic", "moldable", "min_replicas", "max_replicas")
 
 #: Figure 7 sweeps the gap between consecutive submissions from 0 to 300 s.
@@ -55,7 +58,20 @@ class SweepResult:
         ]
 
     def policies(self) -> List[str]:
-        return [p for p in POLICY_ORDER if p in self.stats]
+        """Swept policies: paper order first, then registration order.
+
+        Registry-backed (not pinned to the paper tuple) so sweeping a
+        new registration — ``easy-backfill``, a plugin's policy — shows
+        up in figure legends and CLI tables automatically.
+        """
+        from ..scheduling.registry import REGISTRY
+
+        known = list(POLICY_ORDER) + [
+            p for p in REGISTRY.list_policies() if p not in POLICY_ORDER
+        ]
+        ordered = [p for p in known if p in self.stats]
+        ordered.extend(p for p in self.stats if p not in known)
+        return ordered
 
 
 def _run_grid(

@@ -3,12 +3,20 @@
 Public surface::
 
     from repro.scheduling import (
-        ElasticPolicyEngine, PolicyConfig, make_policy, POLICY_NAMES,
+        ElasticPolicyEngine, PolicyConfig, SchedulingPolicy,
+        SchedulerRegistry, REGISTRY, resolve, list_policies,
+        make_policy, POLICY_NAMES,
         JobRequest, SchedulerJob, JobState,
         Decision, StartJob, ShrinkJob, ExpandJob, EnqueueJob,
         JobOutcome, ReplicaTimeline, SchedulerMetrics, compute_metrics,
         ElasticSchedulerController,
     )
+
+Policies resolve by name through :mod:`repro.scheduling.registry`;
+importing this package registers the paper's four policies
+(:mod:`.policies`), the literature schedulers (:mod:`.literature`:
+``ewt``, ``prb``, ``easy-backfill``), and the power-capped scenario
+(:mod:`.power`).
 """
 
 from .elastic import ElasticPolicyEngine
@@ -22,13 +30,28 @@ from .metrics import (
     compute_metrics,
 )
 from .metrics import FairnessReport, compute_fairness
+from .registry import (
+    REGISTRY,
+    PolicyRegistrationError,
+    PolicySpec,
+    SchedulerRegistry,
+    UnknownPolicyError,
+    describe,
+    list_policies,
+    resolve,
+)
 from .policies import DEFAULT_RESCALE_GAP, POLICY_NAMES, make_policy
+from . import literature  # noqa: F401  (self-registering policies)
+from . import power  # noqa: F401  (self-registering policies)
 from .policy import (
+    BackfillRule,
+    CapacityConstraint,
     Decision,
     EnqueueJob,
     ExpandJob,
     PolicyConfig,
     RequeueJob,
+    SchedulingPolicy,
     ShrinkJob,
     StartJob,
 )
@@ -36,6 +59,17 @@ from .policy import (
 __all__ = [
     "ElasticPolicyEngine",
     "PolicyConfig",
+    "SchedulingPolicy",
+    "BackfillRule",
+    "CapacityConstraint",
+    "SchedulerRegistry",
+    "PolicySpec",
+    "REGISTRY",
+    "UnknownPolicyError",
+    "PolicyRegistrationError",
+    "resolve",
+    "list_policies",
+    "describe",
     "make_policy",
     "POLICY_NAMES",
     "DEFAULT_RESCALE_GAP",

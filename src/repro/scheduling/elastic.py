@@ -78,6 +78,7 @@ by the live-job count instead of the workload length.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import math
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -125,6 +126,15 @@ class ElasticPolicyEngine:
         # and applied after the walk (the walk's block pointers must not
         # see structural mutations mid-flight).
         self._pending_starts: Optional[List[SchedulerJob]] = None
+        # The SchedulingPolicy hook stages (all None on the paper's four
+        # policies, keeping every hot path bytewise identical).  getattr
+        # keeps duck-typed configs without the new fields working.
+        config = self.config
+        self._priority_rule = getattr(config, "priority_rule", None)
+        self._backfill = getattr(config, "backfill", None)
+        factory = getattr(config, "capacity_constraint", None)
+        #: One fresh constraint per engine: budgets are engine state.
+        self._constraint = factory() if factory is not None else None
 
     # ------------------------------------------------------------------
     # Accounting
@@ -168,10 +178,22 @@ class ElasticPolicyEngine:
 
     def on_submit(self, request: JobRequest, now: float) -> List[Decision]:
         request = self.config.job_transform(request)
+        if self._priority_rule is not None:
+            # Queue-ordering stage: the rule rewrites the *effective*
+            # priority, so the engine's priority-keyed order and block
+            # aggregates stay exact.  Metrics weight by the submission's
+            # original priority (the simulator keeps its own request).
+            request = dataclasses.replace(
+                request, priority=self._priority_rule(request)
+            )
         if request.name in self._jobs:
             raise JobStateError(f"job {request.name!r} already submitted")
         job = SchedulerJob(request=request, submit_time=now)
         self._jobs[request.name] = job
+        if self._constraint is not None:
+            return self._submit_constrained(job, now)
+        if self._backfill is not None and len(self.queue):
+            return self._submit_backfill(job, now)
         reserve = self.config.launcher_slots
         req_min = request.min_replicas
         req_max = request.max_replicas
@@ -350,6 +372,169 @@ class ElasticPolicyEngine:
         return min_to_free
 
     # ------------------------------------------------------------------
+    # Hooked submission paths (backfill-eligibility, capacity-constraint)
+    # ------------------------------------------------------------------
+    #
+    # The paper's Figure 2 lets any arrival start past a non-empty queue
+    # (the stated out-of-order-allocation feature) and knows only one
+    # budget, slots.  The hook stages generalize both; each path is only
+    # entered when its hook is configured, so the four paper policies
+    # never reach this code.
+
+    def _submit_backfill(self, job: SchedulerJob, now: float) -> List[Decision]:
+        """An arrival that would start past a non-empty queue is a
+        *backfill* and must pass the backfill-eligibility stage (EASY:
+        the start may not delay the reserved queue head).
+
+        A backfill has to fit in the currently free slots — rearranging
+        running jobs to make room for a queue-jumper would contradict the
+        reservation the stage protects — so no Figure-2 shrink walk runs
+        here.
+        """
+        request = job.request
+        avail = self.free_slots - self.config.launcher_slots
+        replicas = avail if avail < request.max_replicas else request.max_replicas
+        decisions: List[Decision] = []
+        if replicas >= request.min_replicas and self._backfill.allows(
+            self, job, replicas, now
+        ):
+            decisions.append(self._start(job, replicas, now))
+        else:
+            decisions.append(self._enqueue(job))
+        return self._log(decisions)
+
+    def _submit_constrained(self, job: SchedulerJob, now: float) -> List[Decision]:
+        """Figure 2 under an active capacity constraint: the dual budget.
+
+        Starts are capped by both free slots and :meth:`CapacityConstraint
+        .admit`; the shrink walk chases a *dual* deficit (slots and
+        constraint units), making elastic shrink the constraint's
+        actuator — the power-capped scenario's whole point.  The walk is
+        the literal Figure-2 shape (no aggregate credits: block
+        aggregates know nothing of constraint weights).
+        """
+        request = job.request
+        cons = self._constraint
+        reserve = self.config.launcher_slots
+        req_min = request.min_replicas
+        req_max = request.max_replicas
+        decisions: List[Decision] = []
+
+        avail = self.free_slots - reserve
+        room = cons.admit(request)
+        limit = avail if avail < room else room
+        replicas = limit if limit < req_max else req_max
+        if replicas >= req_min:
+            if (
+                self._backfill is not None
+                and len(self.queue)
+                and not self._backfill.allows(self, job, replicas, now)
+            ):
+                decisions.append(self._enqueue(job))
+            else:
+                decisions.append(self._start(job, replicas, now))
+            return self._log(decisions)
+        if self._backfill is not None and len(self.queue):
+            # Queue-jumpers never trigger shrinks (see _submit_backfill).
+            decisions.append(self._enqueue(job))
+            return self._log(decisions)
+
+        weight = cons.weight(request)
+        slot_deficit = req_min - avail
+        unit_deficit = req_min * weight - cons.headroom()
+        if not self._constrained_shrink_feasible(
+            job, now, slot_deficit, unit_deficit
+        ):
+            decisions.append(self._enqueue(job))
+            return self._log(decisions)
+
+        self._constrained_shrink(
+            job, now, req_max - avail, req_max * weight - cons.headroom(),
+            decisions,
+        )
+        avail = self.free_slots - reserve
+        room = cons.admit(request)
+        limit = avail if avail < room else room
+        replicas = limit if limit < req_max else req_max
+        if replicas >= req_min:
+            decisions.append(self._start(job, replicas, now))
+        else:  # a shrink_filter vetoed part of the committed plan
+            decisions.append(self._enqueue(job))
+        return self._log(decisions)
+
+    def _constrained_shrink_feasible(
+        self, job: SchedulerJob, now: float, slot_deficit: int,
+        unit_deficit: float,
+    ) -> bool:
+        """Dry-run the dual-deficit shrink walk (pure, literal order)."""
+        if slot_deficit <= 0 and unit_deficit <= 0:
+            return True
+        gap = self.config.rescale_gap
+        cons = self._constraint
+        priority = job.request.priority
+        running = self.running
+        for i in range(len(running) - 1, 0, -1):
+            candidate = running[i]
+            if now - candidate.last_action < gap:
+                continue
+            if candidate.request.priority > priority:
+                return False
+            extra = candidate.replicas - candidate.request.min_replicas
+            if extra > 0:
+                slot_deficit -= extra
+                unit_deficit -= extra * cons.weight(candidate.request)
+                if slot_deficit <= 0 and unit_deficit <= 0:
+                    return True
+        return slot_deficit <= 0 and unit_deficit <= 0
+
+    def _constrained_shrink(
+        self,
+        job: SchedulerJob,
+        now: float,
+        slot_target: int,
+        unit_target: float,
+        decisions: List[Decision],
+    ) -> None:
+        """The committing dual-deficit walk: shrink victims until both
+        the slot and the constraint-unit targets are met (or the literal
+        walk's stop conditions end it)."""
+        gap = self.config.rescale_gap
+        cons = self._constraint
+        priority = job.request.priority
+        # Snapshot: _shrink never reorders the list (the sort key is
+        # priority-based), but iterating a frozen view is simpler to
+        # reason about than live block pointers under mutation.
+        snapshot = list(self.running)
+        for i in range(len(snapshot) - 1, 0, -1):
+            if slot_target <= 0 and unit_target <= 0:
+                break
+            candidate = snapshot[i]
+            if now - candidate.last_action < gap:
+                continue
+            if candidate.request.priority > priority:
+                break
+            floor = candidate.request.min_replicas
+            old = candidate.replicas
+            if old <= floor:
+                continue
+            weight = cons.weight(candidate.request)
+            want = slot_target if slot_target > 0 else 0
+            if unit_target > 0 and weight > 0:
+                from_units = int(math.ceil(unit_target / weight))
+                if from_units > want:
+                    want = from_units
+            new = old - want
+            if new < floor:
+                new = floor
+            if new < old:
+                shrink = self._shrink(candidate, new, now)
+                if shrink is not None:
+                    decisions.append(shrink)
+                    freed = old - new
+                    slot_target -= freed
+                    unit_target -= freed * weight
+
+    # ------------------------------------------------------------------
     # Event: job finished (Figure 3)
     # ------------------------------------------------------------------
 
@@ -365,6 +550,8 @@ class ElasticPolicyEngine:
         self.running.remove(job)
         freed = job.replicas + self.config.launcher_slots
         self._used_slots -= freed
+        if self._constraint is not None:
+            self._constraint.charge(job.request, -job.replicas)
         job.replicas = 0
         if self.config.literal_completion_budget:
             # Figure 3 verbatim: redistribute only this job's workers.
@@ -404,6 +591,11 @@ class ElasticPolicyEngine:
         is exactly the literal scan's (:meth:`_redistribute_scan`, which
         time-dependent-priority subclasses still use).
         """
+        if self._constraint is not None or self._backfill is not None:
+            # Hooked policies take the literal scan: constraint caps and
+            # backfill gates are per-candidate state the block aggregates
+            # cannot express.  Hook-free configs never reach this branch.
+            return self._redistribute_scan(num_workers, now, decisions)
         reserve = self.config.launcher_slots
         gap = self.config.rescale_gap
         qblocks = self.queue.blocks
@@ -508,24 +700,44 @@ class ElasticPolicyEngine:
         """
         reserve = self.config.launcher_slots
         gap = self.config.rescale_gap
+        cons = self._constraint
+        backfill = self._backfill
+        passed_queued = False  # a queued job was left waiting upstream
         for candidate in self._candidates_by_priority():
             if num_workers <= 0:
                 break
             if now - candidate.last_action < gap:
+                if candidate.state == JobState.QUEUED:
+                    passed_queued = True
                 continue
             if candidate.replicas < candidate.max_replicas:
                 add = min(num_workers, candidate.max_replicas - candidate.replicas)
                 if candidate.state == JobState.QUEUED:
                     # Starting a queued job also needs its launcher slot.
                     add = min(num_workers - reserve, candidate.max_replicas)
-                    if add >= candidate.min_replicas:
+                    if cons is not None:
+                        room = cons.admit(candidate.request)
+                        if room < add:
+                            add = room
+                    if add >= candidate.min_replicas and (
+                        backfill is None
+                        or not passed_queued
+                        or backfill.allows(self, candidate, add, now)
+                    ):
                         decisions.append(self._start_queued(candidate, add, now))
                         num_workers -= add + reserve
-                elif candidate.replicas + add >= candidate.min_replicas:
-                    decisions.append(
-                        self._expand(candidate, candidate.replicas + add, now)
-                    )
-                    num_workers -= add
+                    else:
+                        passed_queued = True
+                else:
+                    if cons is not None:
+                        room = cons.admit(candidate.request)
+                        if room < add:
+                            add = room
+                    if add > 0 and candidate.replicas + add >= candidate.min_replicas:
+                        decisions.append(
+                            self._expand(candidate, candidate.replicas + add, now)
+                        )
+                        num_workers -= add
 
     # ------------------------------------------------------------------
     # Elastic cluster capacity (the repro.cloud substrate)
@@ -644,6 +856,8 @@ class ElasticPolicyEngine:
         self.running.remove(job)
         released = job.replicas
         self._used_slots -= released + self.config.launcher_slots
+        if self._constraint is not None:
+            self._constraint.charge(job.request, -released)
         job.replicas = 0
         job.state = JobState.QUEUED
         job.last_action = -math.inf
@@ -667,6 +881,8 @@ class ElasticPolicyEngine:
         actual = int(actual_replicas)
         old = job.replicas
         self._used_slots += actual - job.replicas
+        if self._constraint is not None and actual != old:
+            self._constraint.charge(job.request, actual - old)
         job.replicas = actual
         self.running.adjust_replicas(job, old)
         if self.free_slots < 0:  # pragma: no cover - defensive
@@ -703,6 +919,10 @@ class ElasticPolicyEngine:
         """
         taken = replicas + self.config.launcher_slots
         self._validate_capacity(taken)
+        if self._constraint is not None:
+            # Launcher slots carry no constraint weight: the budget is a
+            # per-worker quantity (watts), not a slot count.
+            self._constraint.charge(job.request, replicas)
         job.state = JobState.RUNNING
         job.replicas = replicas
         job.last_action = now
@@ -746,6 +966,8 @@ class ElasticPolicyEngine:
         job.last_action = now
         job.rescale_count += 1
         self._used_slots -= old - new_replicas
+        if self._constraint is not None:
+            self._constraint.charge(job.request, new_replicas - old)
         self.running.rescaled(job, old)
         return ShrinkJob(job=job, from_replicas=old, to_replicas=new_replicas)
 
@@ -756,6 +978,8 @@ class ElasticPolicyEngine:
         job.last_action = now
         job.rescale_count += 1
         self._used_slots += new_replicas - old
+        if self._constraint is not None:
+            self._constraint.charge(job.request, new_replicas - old)
         self.running.rescaled(job, old)
         return ExpandJob(job=job, from_replicas=old, to_replicas=new_replicas)
 

@@ -1,4 +1,5 @@
-"""The four scheduling policies of the evaluation (§4.3).
+"""The four scheduling policies of the evaluation (§4.3), as registry
+residents.
 
 All four share one implementation — the Figure-2/3 elastic algorithm —
 parameterized exactly as the paper emulates them (§4.3.2):
@@ -9,22 +10,30 @@ parameterized exactly as the paper emulates them (§4.3.2):
 * **rigid-min** (``min_replicas``) — "emulated by setting the same value
   for min_replicas and max_replicas" = the job's minimum.
 * **rigid-max** (``max_replicas``) — likewise pinned to the maximum.
+
+Each is a named factory on :data:`repro.scheduling.registry.REGISTRY`
+(``paper=True``); the golden decision-log suite pins registry-resolved
+configs byte-identical to the original ``make_policy`` constructions.
+:func:`make_policy` survives as a thin shim emitting
+``DeprecationWarning`` — new code resolves through the registry::
+
+    from repro.scheduling.registry import resolve
+    config = resolve("elastic", rescale_gap=90.0)
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+import warnings
 
 from .job import JobRequest
 from .policy import PolicyConfig
+from .registry import REGISTRY
 
 __all__ = ["make_policy", "POLICY_NAMES", "DEFAULT_RESCALE_GAP"]
 
 #: The T_rescale_gap used throughout the paper's experiments.
 DEFAULT_RESCALE_GAP = 180.0
-
-POLICY_NAMES = ("elastic", "moldable", "min_replicas", "max_replicas")
 
 
 def _pin_min(request: JobRequest) -> JobRequest:
@@ -35,48 +44,105 @@ def _pin_max(request: JobRequest) -> JobRequest:
     return request.with_rigid_replicas(request.max_replicas)
 
 
+@REGISTRY.register(
+    "elastic", paper=True, tags=("paper",),
+    description="§3.2 priority-based elastic scheduling (the contribution)",
+)
+def _elastic(
+    rescale_gap: float = DEFAULT_RESCALE_GAP,
+    launcher_slots: int = 0,
+    shrink_filter=None,
+) -> PolicyConfig:
+    return PolicyConfig(
+        name="elastic",
+        rescale_gap=rescale_gap,
+        launcher_slots=launcher_slots,
+        shrink_filter=shrink_filter,
+    )
+
+
+@REGISTRY.register(
+    "moldable", paper=True, tags=("paper",),
+    description="size chosen at start, never rescaled (T_rescale_gap = inf)",
+)
+def _moldable(
+    rescale_gap: float = DEFAULT_RESCALE_GAP,  # accepted and ignored
+    launcher_slots: int = 0,
+    shrink_filter=None,
+) -> PolicyConfig:
+    return PolicyConfig(
+        name="moldable",
+        rescale_gap=math.inf,
+        launcher_slots=launcher_slots,
+        shrink_filter=shrink_filter,
+    )
+
+
+@REGISTRY.register(
+    "min_replicas", paper=True, tags=("paper", "rigid"),
+    description="rigid baseline: every job pinned to its minimum size",
+)
+def _min_replicas(
+    rescale_gap: float = DEFAULT_RESCALE_GAP,
+    launcher_slots: int = 0,
+    shrink_filter=None,
+) -> PolicyConfig:
+    return PolicyConfig(
+        name="min_replicas",
+        rescale_gap=rescale_gap,
+        launcher_slots=launcher_slots,
+        job_transform=_pin_min,
+        shrink_filter=shrink_filter,
+    )
+
+
+@REGISTRY.register(
+    "max_replicas", paper=True, tags=("paper", "rigid"),
+    description="rigid baseline: every job pinned to its maximum size",
+)
+def _max_replicas(
+    rescale_gap: float = DEFAULT_RESCALE_GAP,
+    launcher_slots: int = 0,
+    shrink_filter=None,
+) -> PolicyConfig:
+    return PolicyConfig(
+        name="max_replicas",
+        rescale_gap=rescale_gap,
+        launcher_slots=launcher_slots,
+        job_transform=_pin_max,
+        shrink_filter=shrink_filter,
+    )
+
+
+#: The paper's four policy names, in the evaluation's order.  Kept as a
+#: module constant for the reproduction tables; anything enumerating
+#: *available* policies should call ``registry.list_policies()`` instead.
+POLICY_NAMES = REGISTRY.paper_policies()
+
+
 def make_policy(
     name: str,
     rescale_gap: float = DEFAULT_RESCALE_GAP,
     launcher_slots: int = 0,
     shrink_filter=None,
 ) -> PolicyConfig:
-    """Build the :class:`PolicyConfig` for one of the paper's policies.
+    """Deprecated shim over ``registry.resolve(name, ...)``.
 
-    >>> make_policy("moldable").is_moldable
+    >>> import warnings
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore")
+    ...     make_policy("moldable").is_moldable
     True
-    >>> make_policy("min_replicas").job_transform(
-    ...     JobRequest("j", min_replicas=2, max_replicas=8)).max_replicas
-    2
     """
-    if name == "elastic":
-        return PolicyConfig(
-            name=name,
-            rescale_gap=rescale_gap,
-            launcher_slots=launcher_slots,
-            shrink_filter=shrink_filter,
-        )
-    if name == "moldable":
-        return PolicyConfig(
-            name=name,
-            rescale_gap=math.inf,
-            launcher_slots=launcher_slots,
-            shrink_filter=shrink_filter,
-        )
-    if name == "min_replicas":
-        return PolicyConfig(
-            name=name,
-            rescale_gap=rescale_gap,
-            launcher_slots=launcher_slots,
-            job_transform=_pin_min,
-            shrink_filter=shrink_filter,
-        )
-    if name == "max_replicas":
-        return PolicyConfig(
-            name=name,
-            rescale_gap=rescale_gap,
-            launcher_slots=launcher_slots,
-            job_transform=_pin_max,
-            shrink_filter=shrink_filter,
-        )
-    raise ValueError(f"unknown policy {name!r}; available: {POLICY_NAMES}")
+    warnings.warn(
+        "make_policy() is deprecated; use "
+        "repro.scheduling.registry.resolve(name, **overrides)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return REGISTRY.resolve(
+        name,
+        rescale_gap=rescale_gap,
+        launcher_slots=launcher_slots,
+        shrink_filter=shrink_filter,
+    )

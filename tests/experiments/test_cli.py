@@ -43,8 +43,48 @@ class TestCli:
     def test_parser_has_all_artifact_commands(self):
         parser = build_parser()
         text = parser.format_help()
-        for cmd in ("jobs", "run", "simulate", "table1", "bench"):
+        for cmd in ("jobs", "run", "simulate", "table1", "bench", "policies"):
             assert cmd in text
+
+
+class TestPoliciesCli:
+    def test_policies_list_shows_registry(self, capsys):
+        assert main(["policies", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("elastic", "moldable", "min_replicas", "max_replicas",
+                     "ewt", "prb", "easy-backfill", "power-capped"):
+            assert name in out
+        assert "paper" in out
+
+    def test_policies_show(self, capsys):
+        assert main(["policies", "show", "easy-backfill"]) == 0
+        out = capsys.readouterr().out
+        assert "easy-backfill" in out
+        assert "backfill" in out
+
+    def test_policies_show_requires_name(self, capsys):
+        assert main(["policies", "show"]) == 2
+
+    def test_policies_show_unknown_is_user_error(self, capsys):
+        assert main(["policies", "show", "fcfs"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_registered_policy_runs_end_to_end(self, capsys):
+        """The acceptance path: a non-paper registry policy through the
+        simulator CLI with real metrics out."""
+        assert main([
+            "workloads", "run", "--source", "paper", "--jobs", "6",
+            "--policy", "easy-backfill",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "easy-backfill" in out and "util=" in out
+
+    def test_simulate_accepts_registry_policies(self, capsys):
+        assert main([
+            "simulate", "--trials", "2", "--policies", "elastic,ewt",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "elastic" in out and "ewt" in out
 
 
 class TestBenchCli:
@@ -63,6 +103,16 @@ class TestBenchCli:
         assert document["benchmark"] == "policy_engine"
         assert "engine_200" in document["results"]
         assert "200" in document["speedup_vs_reference"]
+
+    def test_bench_policy_engine_suite_alias(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "bench", "--suite", "policy_engine", "--sizes", "200",
+            "--reference-max", "0", "--output", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine_200" in out
+        assert "simulator_easy_200" in out  # the registry-resolved row
 
     def test_bench_regression_gate_passes_against_self(self, capsys, tmp_path):
         """A run gated against its own output trivially passes."""

@@ -256,6 +256,21 @@ class TestMultiBlockEquivalence:
         assert peak["running"] >= 3
 
 
+@pytest.mark.parametrize("seed", SEEDS[:10])
+@pytest.mark.parametrize("policy", POLICIES)
+def test_registry_resolved_matches_reference(policy, seed):
+    """The registry path is the make_policy path: resolving a paper
+    policy by name yields decisions byte-identical to the frozen
+    reference engine — the tentpole's no-regression guarantee."""
+    from repro.scheduling.registry import REGISTRY
+
+    assert_equivalent(
+        ElasticPolicyEngine(TOTAL_SLOTS, REGISTRY.resolve(policy)),
+        ReferenceElasticPolicyEngine(TOTAL_SLOTS, make_policy(policy)),
+        seed,
+    )
+
+
 def test_decision_log_gating_does_not_change_decisions():
     """keep_decision_log=False only empties the log, never the decisions."""
     logged = ElasticPolicyEngine(TOTAL_SLOTS, make_policy("elastic"))

@@ -1,0 +1,215 @@
+"""Tests for the power-capped capacity scenario.
+
+Unit coverage of :class:`PowerBudget` (weights, admission arithmetic)
+plus the engine-level invariants that make the scenario trustworthy:
+the live draw always equals Σ replicas × watts over running jobs, and
+never exceeds the budget — at every decision point of randomized
+workloads, with shrink/expand acting as the power-capping actuator.
+"""
+
+import random
+
+import pytest
+
+from repro.scheduling import ElasticPolicyEngine, JobRequest
+from repro.scheduling.power import (
+    DEFAULT_WATTS_PER_REPLICA,
+    PowerBudget,
+    _EPSILON,
+)
+from repro.scheduling.registry import REGISTRY
+from repro.schedsim import ScheduleSimulator, WorkloadSpec, generate_workload
+
+
+def wreq(name, min_r, max_r, priority=1, watts=None, size_class=None):
+    params = {}
+    if watts is not None:
+        params["watts_per_replica"] = watts
+    if size_class is not None:
+        params["size_class"] = size_class
+    return JobRequest(
+        name=name, min_replicas=min_r, max_replicas=max_r,
+        priority=priority, params=params,
+    )
+
+
+class TestPowerBudgetUnit:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="positive"):
+            PowerBudget(budget_watts=0.0)
+
+    def test_weight_resolution_order(self):
+        budget = PowerBudget(watts={"small": 42.0})
+        # params override beats everything
+        assert budget.weight(wreq("a", 1, 2, watts=7.5)) == 7.5
+        # scenario re-weighting beats the frozen table
+        assert budget.weight(wreq("b", 1, 2, size_class="small")) == 42.0
+        # the frozen table's per-class draw
+        assert budget.weight(wreq("c", 1, 2, size_class="xlarge")) == 250.0
+        # no class at all: the default draw
+        assert budget.weight(wreq("d", 1, 2)) == DEFAULT_WATTS_PER_REPLICA
+
+    def test_admit_floors_to_replicas(self):
+        budget = PowerBudget(budget_watts=1000.0)
+        request = wreq("a", 1, 64, watts=150.0)
+        assert budget.admit(request) == 6  # 1000 / 150
+        budget.charge(request, 6)
+        assert budget.admit(request) == 0
+        assert budget.headroom() == pytest.approx(100.0)
+
+    def test_admit_epsilon_tolerates_exact_fits(self):
+        budget = PowerBudget(budget_watts=450.0)
+        assert budget.admit(wreq("a", 1, 64, watts=150.0)) == 3
+
+    def test_weightless_requests_uncapped(self):
+        budget = PowerBudget(budget_watts=100.0)
+        assert budget.admit(wreq("a", 1, 64, watts=0.0)) == 64
+
+    def test_charge_is_signed(self):
+        budget = PowerBudget(budget_watts=1000.0)
+        request = wreq("a", 1, 8, watts=100.0)
+        budget.charge(request, 5)
+        assert budget.used == pytest.approx(500.0)
+        budget.charge(request, -3)
+        assert budget.used == pytest.approx(200.0)
+
+
+def live_draw(engine):
+    """Σ replicas × watts over running jobs — what `used` must equal."""
+    cons = engine._constraint
+    return sum(cons.weight(j.request) * j.replicas for j in engine.running)
+
+
+def audit(engine):
+    cons = engine._constraint
+    assert cons.used == pytest.approx(live_draw(engine)), (
+        "constraint accounting drifted from the running set"
+    )
+    assert cons.used <= cons.budget_watts + _EPSILON, (
+        f"watt budget exceeded: {cons.used} > {cons.budget_watts}"
+    )
+
+
+class TestEngineIntegration:
+    def test_admission_caps_initial_width(self):
+        # 3000 W / 150 W = 20 replicas, but only 15 once 5 are drawn...
+        config = REGISTRY.resolve("power-capped", budget_watts=3000.0)
+        engine = ElasticPolicyEngine(64, config)
+        engine.on_submit(wreq("a", 2, 8, watts=150.0), 0.0)
+        assert engine._jobs["a"].replicas == 8  # fits outright
+        decisions = engine.on_submit(wreq("b", 2, 64, watts=150.0), 1.0)
+        assert [d.job.name for d in decisions] == ["b"]
+        assert engine._jobs["b"].replicas == 12  # (3000 - 1200) / 150
+        audit(engine)
+
+    def test_watt_infeasible_job_queues_despite_free_slots(self):
+        config = REGISTRY.resolve("power-capped", budget_watts=1000.0)
+        engine = ElasticPolicyEngine(64, config)
+        engine.on_submit(wreq("a", 4, 4, watts=200.0), 0.0)  # 800 W
+        decisions = engine.on_submit(wreq("b", 4, 8, watts=100.0), 1.0)
+        # 60 free slots, but only 200 W headroom < 4 × 100 W.
+        assert [type(d).__name__ for d in decisions] == ["EnqueueJob"]
+        audit(engine)
+
+    def test_priority_arrival_shrinks_for_watts(self):
+        """The elastic walk chases the watt deficit, not just slots.
+
+        running[0] is protected exactly as in the paper's Figure-2 walk,
+        so the watt deficit must come out of the second running job.
+        """
+        config = REGISTRY.resolve("power-capped", budget_watts=3000.0)
+        engine = ElasticPolicyEngine(64, config)
+        engine.on_submit(wreq("head", 4, 4, priority=1, watts=150.0), 0.0)
+        engine.on_submit(wreq("low", 4, 10, priority=1, watts=150.0), 1.0)
+        assert engine._jobs["low"].replicas == 10  # 600 + 1500 = 2100 W
+        engine.on_submit(wreq("high", 8, 8, priority=5, watts=150.0), 200.0)
+        # 8 × 150 = 1200 W needed, 900 W headroom: low sheds 2 replicas
+        # (50 free slots, so the deficit is purely watts).
+        assert engine._jobs["high"].replicas == 8
+        assert engine._jobs["low"].replicas == 8
+        assert engine._jobs["head"].replicas == 4  # protected
+        audit(engine)
+
+    def test_completion_refunds_watts_and_expands(self):
+        config = REGISTRY.resolve("power-capped", budget_watts=1500.0)
+        engine = ElasticPolicyEngine(64, config)
+        engine.on_submit(wreq("a", 4, 4, watts=150.0), 0.0)   # 600 W
+        engine.on_submit(wreq("b", 2, 10, watts=150.0), 1.0)  # 6 admitted
+        assert engine._jobs["b"].replicas == 6
+        audit(engine)
+        engine.on_complete("a", 400.0)
+        # a's 600 W refund lets b expand, capped by the budget again.
+        assert engine._jobs["b"].replicas == 10
+        audit(engine)
+
+    def test_rescale_failure_recharges_actual(self):
+        config = REGISTRY.resolve("power-capped", budget_watts=3000.0)
+        engine = ElasticPolicyEngine(64, config)
+        engine.on_submit(wreq("low", 4, 12, priority=1, watts=150.0), 0.0)
+        engine.on_submit(wreq("high", 6, 6, priority=5, watts=150.0), 200.0)
+        shrunk = engine._jobs["low"].replicas
+        engine.on_rescale_failed("low", shrunk + 2)  # substrate reverted
+        audit(engine)
+
+    def test_randomized_stream_never_exceeds_budget(self):
+        rng = random.Random(7)
+        config = REGISTRY.resolve("power-capped", budget_watts=2500.0)
+        engine = ElasticPolicyEngine(48, config)
+        submitted = 0
+        now = 0.0
+        while submitted < 80 or engine.running:
+            now += rng.expovariate(1.0 / 150.0)
+            if submitted < 80 and (not engine.running or rng.random() < 0.6):
+                low = rng.randint(1, 6)
+                engine.on_submit(
+                    wreq(
+                        f"j{submitted}", low,
+                        min(low + rng.choice((0, 2, 8, 20)), 48),
+                        priority=rng.randint(1, 5),
+                        watts=rng.choice((100.0, 150.0, 250.0)),
+                    ),
+                    now,
+                )
+                submitted += 1
+            else:
+                victim = rng.choice([j.name for j in engine.running])
+                engine.on_complete(victim, now)
+            if engine.running and rng.random() < 0.15:
+                job = rng.choice(engine.running)
+                if job.replicas > job.min_replicas:
+                    engine.on_rescale_failed(
+                        job.name, rng.randint(job.min_replicas, job.replicas)
+                    )
+            audit(engine)
+        assert engine._constraint.used == pytest.approx(0.0)
+
+
+class TestEndToEnd:
+    def test_simulator_run_with_default_budget(self):
+        submissions = generate_workload(WorkloadSpec(num_jobs=16, seed=9))
+        result = ScheduleSimulator(REGISTRY.resolve("power-capped")).run(
+            submissions
+        )
+        assert result.metrics.policy == "power-capped"
+        assert result.metrics.job_count == 16
+
+    def test_tighter_budget_trades_time_for_watts(self):
+        submissions = generate_workload(WorkloadSpec(num_jobs=16, seed=9))
+        loose = ScheduleSimulator(
+            REGISTRY.resolve("power-capped", budget_watts=1e9)
+        ).run(submissions)
+        tight = ScheduleSimulator(
+            REGISTRY.resolve("power-capped", budget_watts=6000.0)
+        ).run(submissions)
+        assert tight.metrics.total_time >= loose.metrics.total_time
+
+    def test_scenario_reweighting_via_watts_dict(self):
+        config = REGISTRY.resolve(
+            "power-capped", budget_watts=800.0, watts={"xlarge": 10.0}
+        )
+        engine = ElasticPolicyEngine(64, config)
+        engine.on_submit(wreq("x", 16, 64, size_class="xlarge"), 0.0)
+        # At the table's 250 W/replica nothing would fit; at 10 W the
+        # budget admits all 64.
+        assert engine._jobs["x"].replicas == 64
+        audit(engine)
