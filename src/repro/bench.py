@@ -40,10 +40,13 @@ import platform
 import resource
 import sys
 import time
+import warnings
 from bisect import insort
 from random import Random
 from typing import Dict, List, Optional, Sequence
 
+from .obs.log import get_logger, set_level
+from .obs.manifest import RunManifest
 from .scheduling import ElasticPolicyEngine, JobRequest
 from .scheduling._reference import ReferenceElasticPolicyEngine
 from .scheduling.registry import REGISTRY
@@ -64,6 +67,16 @@ __all__ = [
     "DEFAULT_SWEEP_OUTPUT",
     "DEFAULT_CLOUD_OUTPUT",
 ]
+
+#: BENCH_*.json document schema.  v2 added ``schema_version`` (v1 spelled
+#: it ``schema``), the ``manifest`` provenance block, and the cloud
+#: suite's ``cost_per_job`` column.
+SCHEMA_VERSION = 2
+
+#: Shared progress logger — the `repro bench` CLI's `--quiet` drops its
+#: threshold below INFO; library callers may still pass ``progress=`` to
+#: redirect messages entirely.
+_LOG = get_logger("repro.bench")
 
 DEFAULT_SIZES = (1_000, 10_000, 100_000)
 DEFAULT_OUTPUT = "BENCH_policy_engine.json"
@@ -220,17 +233,25 @@ def bench_simulator(n_jobs: int, seed: int = 11, policy: str = "elastic") -> Dic
     }
 
 
+def _progress(progress):
+    """The suites' progress sink: the caller's hook, or the shared logger.
+
+    All three ``run_*`` suites used to carry identical ``say`` closures;
+    they now funnel through :data:`_LOG` (level-aware, so ``repro bench
+    --quiet`` and ``REPRO_LOG_LEVEL`` silence them) unless the caller
+    supplies an explicit ``progress`` callable.
+    """
+    return progress if progress is not None else _LOG.info
+
+
 def run_bench(
     sizes: Sequence[int] = DEFAULT_SIZES,
     reference_max: int = DEFAULT_REFERENCE_MAX,
     progress=None,
 ) -> Dict:
     """Run the full suite; returns the BENCH_*.json document as a dict."""
-
-    def say(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
+    say = _progress(progress)
+    begin_wall = time.perf_counter()
     say("calibrating machine score...")
     calibration = calibration_score()
     results: Dict[str, Dict] = {}
@@ -263,12 +284,20 @@ def run_bench(
     )
     for row in results.values():
         row["normalized"] = round(row["events_per_sec"] / calibration, 6)
+    config = {"sizes": sorted(sizes), "reference_max": reference_max}
     return {
         "benchmark": "policy_engine",
-        "schema": 1,
+        "schema": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_ops_per_sec": round(calibration, 2),
+        "manifest": RunManifest.collect(
+            command="bench --suite engine",
+            policy="elastic",
+            config=config,
+            wall_seconds=time.perf_counter() - begin_wall,
+        ).as_dict(),
         "results": results,
         "speedup_vs_reference": speedups,
     }
@@ -313,6 +342,7 @@ def bench_cloud_churn(n_jobs: int, seed: int = 18) -> Dict:
         "events_per_sec": round(events / seconds, 2),
         "peak_rss_kb": _peak_rss_kb(),
         "interruptions": result.cost.interruptions,
+        "cost_per_job": round(result.cost.cost_per_job, 6),
     }
 
 
@@ -356,11 +386,8 @@ def run_cloud_bench(
     progress=None,
 ) -> Dict:
     """The ``--suite cloud`` benchmarks → the ``BENCH_cloud.json`` document."""
-
-    def say(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
+    say = _progress(progress)
+    begin_wall = time.perf_counter()
     say("calibrating machine score...")
     calibration = calibration_score()
     results: Dict[str, Dict] = {}
@@ -373,10 +400,17 @@ def run_cloud_bench(
         row["normalized"] = round(row["events_per_sec"] / calibration, 6)
     return {
         "benchmark": "cloud",
-        "schema": 1,
+        "schema": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_ops_per_sec": round(calibration, 2),
+        "manifest": RunManifest.collect(
+            command="bench --suite cloud",
+            policy="elastic",
+            config={"churn_sizes": sorted(churn_sizes)},
+            wall_seconds=time.perf_counter() - begin_wall,
+        ).as_dict(),
         "results": results,
     }
 
@@ -406,10 +440,8 @@ def run_sweep_bench(
 
     from .schedsim import TrialCache, sweep_submission_gap
 
-    def say(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
+    say = _progress(progress)
+    begin_wall = time.perf_counter()
     say("calibrating machine score...")
     calibration = calibration_score()
     grid = dict(trials=trials, policies=tuple(policies))
@@ -479,17 +511,24 @@ def run_sweep_bench(
         }
     finally:
         shutil.rmtree(root, ignore_errors=True)
+    grid_doc = {
+        "policies": list(policies),
+        "gaps": list(gaps),
+        "trials": trials,
+    }
     return {
         "benchmark": "sweep",
-        "schema": 1,
+        "schema": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_ops_per_sec": round(calibration, 2),
-        "grid": {
-            "policies": list(policies),
-            "gaps": list(gaps),
-            "trials": trials,
-        },
+        "manifest": RunManifest.collect(
+            command="bench --suite sweep",
+            config=grid_doc,
+            wall_seconds=time.perf_counter() - begin_wall,
+        ).as_dict(),
+        "grid": grid_doc,
         "results": results,
     }
 
@@ -506,6 +545,21 @@ def compare_results(
     sweep suite's cold run, recorded for the trajectory but not gated).
     """
     failures = []
+    current_schema = current.get("schema_version", current.get("schema"))
+    baseline_schema = baseline.get("schema_version", baseline.get("schema"))
+    if current_schema != baseline_schema:
+        # Schema drift is expected right after a format bump — the
+        # committed baseline lags one commit behind.  Warn so the gate
+        # output records it, but still compare the rows both versions
+        # share; a hard failure here would block the very commit that
+        # refreshes the baseline.
+        warnings.warn(
+            f"benchmark schema mismatch: measured v{current_schema} vs "
+            f"baseline v{baseline_schema} — comparing shared rows only; "
+            "refresh the committed BENCH_*.json baseline",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     current_suite = current.get("benchmark")
     baseline_suite = baseline.get("benchmark")
     if current_suite != baseline_suite:
@@ -603,7 +657,9 @@ def load_results(path: str) -> Dict:
 
 def main_bench(args) -> int:
     """Entry point for the ``repro bench`` CLI verb."""
-    progress = lambda msg: print(f"... {msg}", file=sys.stderr)  # noqa: E731
+    if getattr(args, "quiet", False):
+        set_level("warning")
+    progress = None  # the suites log through repro.obs.log
     suite = getattr(args, "suite", "engine")
     output = args.output
     if suite in ("sweep", "cloud"):

@@ -11,6 +11,7 @@ provides the equivalents against the simulated cluster::
     python -m repro workloads list|show|run ...      # trace/synthetic scenarios
     python -m repro policies list|show ...           # the scheduler registry
     python -m repro bench [--baseline BENCH_*.json]  # hot-path regression gate
+    python -m repro obs export-trace|dashboard ...   # Perfetto traces, trends
 
 Policy names are resolved through the scheduler registry
 (:mod:`repro.scheduling.registry`), so third-party policies shipped via
@@ -320,6 +321,13 @@ def _cmd_bench(args) -> int:
     return main_bench(args)
 
 
+def _cmd_obs(args) -> int:
+    """Observability verbs: trace export + trend dashboard (repro.obs)."""
+    from .obs.cli import main_obs
+
+    return main_obs(args)
+
+
 def _cmd_figure(args) -> int:
     name = args.command
     if name == "fig4":
@@ -508,7 +516,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--speedup-jobs", type=int, default=10_000,
                        help="job count the --min-speedup gate reads "
                             "(default 10000)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress per-scenario progress messages "
+                            "(warnings and gate results still print)")
     bench.set_defaults(fn=_cmd_bench)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability: export a Perfetto trace; render the trend "
+             "dashboard",
+        description="export-trace runs one instrumented workload with span "
+                    "tracing attached and writes Chrome-trace/Perfetto JSON "
+                    "(open at https://ui.perfetto.dev). dashboard renders a "
+                    "static-HTML trend report from a directory of nightly "
+                    "BENCH_*.json artifacts.",
+    )
+    obs.add_argument("action", choices=("export-trace", "dashboard"))
+    obs.add_argument("--jobs", type=int, default=200,
+                     help="workload size for export-trace (default 200)")
+    obs.add_argument("--policy", default="elastic",
+                     help="registry policy name (default elastic)")
+    obs.add_argument("--gap", type=float, default=90.0,
+                     help="submission gap seconds (default 90)")
+    obs.add_argument("--rescale-gap", type=float, default=180.0,
+                     help="T_rescale_gap seconds (default 180)")
+    obs.add_argument("--slots", type=int, default=64,
+                     help="cluster slots for the plain simulator "
+                          "(default 64)")
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--cloud", action="store_true",
+                     help="trace the autoscaled cloud substrate instead of "
+                          "the fixed-capacity simulator")
+    obs.add_argument("--autoscaler", default="queue",
+                     help="autoscaler name for --cloud (default queue)")
+    obs.add_argument("--input", default=None,
+                     help="dashboard: directory of BENCH_*.json artifacts "
+                          "(default .)")
+    obs.add_argument("--output", default=None,
+                     help="output path (default trace.json / "
+                          "dashboard.html per action)")
+    obs.add_argument("--title", default="repro nightly trends",
+                     help="dashboard page title")
+    obs.set_defaults(fn=_cmd_obs)
 
     policies = sub.add_parser(
         "policies",

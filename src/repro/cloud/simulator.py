@@ -125,12 +125,12 @@ class CloudScheduleSimulator(ScheduleSimulator):
             overhead=overhead,
             engine=engine,
             policy_engine_cls=policy_engine_cls,
+            tracer=tracer,
         )
         self.provider = provider
         self.autoscaler = autoscaler or StaticAutoscaler()
         self.meter = BillingMeter(cost_model)
         self.tick = float(tick)
-        self.tracer = tracer
         self.capacity_timeline = ReplicaTimeline()
         self.capacity_timeline.record(engine.now, initial)
         self._arrived_count = 0
@@ -139,6 +139,21 @@ class CloudScheduleSimulator(ScheduleSimulator):
         #: drawn beyond the workload belong to nobody's experiment.
         self._interruptions_in_window = 0
         self._tick_timer = None
+        #: begin_drain time per node id — the reclaim-latency clock.
+        self._drain_began: dict = {}
+        from ..obs.metrics import active_registry
+
+        registry = active_registry()
+        if registry.enabled:
+            self._obs = registry
+            self._obs_provision = registry.histogram("cloud.node.provision_seconds")
+            self._obs_reclaim = registry.histogram("cloud.node.reclaim_seconds")
+            self._obs_interruptions = registry.counter("cloud.interruptions")
+        else:
+            self._obs = None
+            self._obs_provision = None
+            self._obs_reclaim = None
+            self._obs_interruptions = None
         #: When the next autoscaler evaluation is due (None = disarmed).
         #: Scheduling events postpone this deadline instead of cancelling
         #: and re-pushing the tick timer on every submit/finish; the armed
@@ -177,6 +192,10 @@ class CloudScheduleSimulator(ScheduleSimulator):
             capacity_slot_seconds=capacity_ss,
             interruptions=self._interruptions_in_window,
         )
+        if self._obs is not None:
+            self._obs.gauge("cloud.billed_node_seconds").set(
+                cost.node_hours * 3600.0
+            )
         return CloudSimulationResult(
             result=base,
             cost=cost,
@@ -219,9 +238,15 @@ class CloudScheduleSimulator(ScheduleSimulator):
             # the boot window — scale-up that misses the workload is a
             # cost signal, not an error).
             self.provider.release_node(node)
+            self._trace("cloud.node.released",
+                        "node came up after the workload; released",
+                        node=node.id, slots=node.slots)
             return
+        latency = self.engine.now - node.requested_at
         self._trace("cloud.node.ready", f"{node.pool.name} node online",
-                    node=node.id, slots=node.slots)
+                    node=node.id, slots=node.slots, latency=latency)
+        if self._obs_provision is not None:
+            self._obs_provision.observe(latency)
         decisions = self.policy.grow_capacity(node.slots, self.engine.now)
         self._record_capacity()
         self._apply(decisions)
@@ -230,6 +255,8 @@ class CloudScheduleSimulator(ScheduleSimulator):
         self._trace("cloud.node.interrupt",
                     f"spot reclaim took {node.pool.name} node",
                     node=node.id, slots=slots_held)
+        if self._obs_interruptions is not None:
+            self._obs_interruptions.inc()
         if slots_held > 0:
             removed, decisions = self.policy.shrink_capacity(
                 slots_held, self.engine.now, force=True
@@ -283,6 +310,14 @@ class CloudScheduleSimulator(ScheduleSimulator):
         hi = self.provider.max_total_nodes
         target = min(max(self.autoscaler.desired_nodes(state), lo, 0), hi)
         current = state.nodes
+        verdict = "up" if target > current else (
+            "down" if target < current else "hold"
+        )
+        self._trace("cloud.autoscale.verdict", f"autoscaler says {verdict}",
+                    action=verdict, target=target, nodes=current,
+                    queued=state.queued_jobs)
+        if self._obs is not None:
+            self._obs.counter("cloud.autoscale." + verdict).inc()
         acted = False
         if target > current:
             for _ in range(target - current):
@@ -322,6 +357,7 @@ class CloudScheduleSimulator(ScheduleSimulator):
                                 node=node.id)
                 else:
                     self.provider.begin_drain(node)
+                    self._drain_began[node.id] = self.engine.now
                     self._trace("cloud.autoscale", "draining node",
                                 node=node.id)
                     self._drain_node(node)
@@ -339,8 +375,17 @@ class CloudScheduleSimulator(ScheduleSimulator):
         if removed:
             self._record_capacity()
             if self.provider.drained(node, removed):
-                self._trace("cloud.node.drained", "node drained and released",
-                            node=node.id)
+                began = self._drain_began.pop(node.id, None)
+                if began is None:
+                    self._trace("cloud.node.drained",
+                                "node drained and released", node=node.id)
+                else:
+                    reclaim = self.engine.now - began
+                    self._trace("cloud.node.drained",
+                                "node drained and released",
+                                node=node.id, reclaim=reclaim)
+                    if self._obs_reclaim is not None:
+                        self._obs_reclaim.observe(reclaim)
 
     def _push_drains(self) -> None:
         """Advance every in-flight drain (called as completions free slots)."""

@@ -1,0 +1,63 @@
+"""Span-style phase timing over the existing trace substrate.
+
+:class:`PhaseSpans` turns a :class:`repro.sim.trace.Tracer` into a
+begin/end span recorder: every span emits two trace records in the
+``obs.span.<phase>`` category carrying a Chrome-trace phase marker
+(``ph="B"`` / ``ph="E"``) and a **wall-clock** offset (seconds since the
+recorder was created).  Records still get the engine's virtual timestamp
+like every other trace record, so one trace file tells both stories: how
+long a phase took on the wall, and where in simulated time it happened.
+:mod:`repro.obs.perfetto` converts the pairs into Trace Event Format
+JSON a real timeline viewer loads.
+
+The tracer is duck-typed (anything with ``emit(category, message,
+**fields)``) so this module never imports :mod:`repro.sim` — keeping
+``repro.obs`` importable from the sim core without a cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = ["PhaseSpans", "SPAN_CATEGORY_PREFIX"]
+
+#: Category prefix identifying span records in a trace stream.
+SPAN_CATEGORY_PREFIX = "obs.span"
+
+
+class PhaseSpans:
+    """Emit paired B/E span records for named phases into a tracer.
+
+    Spans of the same phase must not overlap (the simulators' event
+    handlers are sequential, so they never do); distinct phases may nest
+    freely — ``redistribute`` fires inside ``complete``.
+    """
+
+    __slots__ = ("tracer", "_clock", "_t0")
+
+    def __init__(self, tracer, clock=time.perf_counter):
+        self.tracer = tracer
+        self._clock = clock
+        self._t0 = clock()
+
+    def begin(self, phase: str, **fields: Any) -> None:
+        self.tracer.emit(
+            f"{SPAN_CATEGORY_PREFIX}.{phase}", phase,
+            ph="B", wall=self._clock() - self._t0, **fields,
+        )
+
+    def end(self, phase: str, **fields: Any) -> None:
+        self.tracer.emit(
+            f"{SPAN_CATEGORY_PREFIX}.{phase}", phase,
+            ph="E", wall=self._clock() - self._t0, **fields,
+        )
+
+    @contextmanager
+    def span(self, phase: str, **fields: Any):
+        self.begin(phase, **fields)
+        try:
+            yield
+        finally:
+            self.end(phase)

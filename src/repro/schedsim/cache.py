@@ -113,6 +113,39 @@ class TrialCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        from ..obs.metrics import active_registry
+
+        registry = active_registry()
+        if registry.enabled:
+            self._obs_hits = registry.counter("cache.hits")
+            self._obs_misses = registry.counter("cache.misses")
+            self._note_salt(registry)
+        else:
+            self._obs_hits = None
+            self._obs_misses = None
+
+    def _note_salt(self, registry) -> None:
+        """Count salt rollovers: a SALT marker in the cache root records
+        the last salt this directory served; a mismatch means a code edit
+        invalidated every prior entry (``cache.salt_invalidations``).
+        Best-effort — a read-only cache directory just skips the count.
+        """
+        marker = os.path.join(self.root, "SALT")
+        try:
+            with open(marker, "r", encoding="utf-8") as handle:
+                previous = handle.read().strip()
+        except OSError:
+            previous = None
+        if previous == self.salt:
+            return
+        if previous is not None:
+            registry.counter("cache.salt_invalidations").inc()
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write(self.salt + "\n")
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
 
     # ------------------------------------------------------------------
 
@@ -190,8 +223,12 @@ class TrialCache:
                 pass
             else:
                 self.hits += 1
+                if self._obs_hits is not None:
+                    self._obs_hits.inc()
                 return metrics
         self.misses += 1
+        if self._obs_misses is not None:
+            self._obs_misses.inc()
         return None
 
     def put(self, task: Sequence, metrics: SchedulerMetrics) -> None:
@@ -225,8 +262,12 @@ class TrialCache:
         record = document.get("record") if document is not None else None
         if not isinstance(record, dict):
             self.misses += 1
+            if self._obs_misses is not None:
+                self._obs_misses.inc()
             return None
         self.hits += 1
+        if self._obs_hits is not None:
+            self._obs_hits.inc()
         return record
 
     def put_record(self, task: Sequence, record: dict) -> None:

@@ -120,9 +120,23 @@ class ScheduleSimulator:
         overhead: Optional[RescaleOverheadModel] = None,
         engine: Optional[Engine] = None,
         policy_engine_cls: type = ElasticPolicyEngine,
+        tracer=None,
     ):
         self.engine = engine or Engine()
         self.policy = policy_engine_cls(total_slots, policy)
+        self.tracer = tracer
+        self._spans = None
+        if tracer is not None:
+            if tracer.engine is None:
+                tracer.engine = self.engine
+            from ..obs.spans import PhaseSpans
+
+            self._spans = PhaseSpans(tracer)
+            # The policy engine times its Figure-3 redistribute walks on
+            # the same recorder when it knows how (duck-typed: custom
+            # policy_engine_cls may predate the attribute).
+            if hasattr(self.policy, "spans"):
+                self.policy.spans = self._spans
         self.total_slots = total_slots
         self.overhead = overhead or RescaleOverheadModel()
         self._running: Dict[str, _RunningJob] = {}
@@ -299,18 +313,28 @@ class ScheduleSimulator:
         return True
 
     def _on_submit(self, sub: Submission) -> None:
+        spans = self._spans
+        if spans is not None:
+            spans.begin("submit", job=sub.request.name)
         decisions = self.policy.on_submit(sub.request, self.engine.now)
         self._apply(decisions)
+        if spans is not None:
+            spans.end("submit", decisions=len(decisions))
         if self._stream is not None:
             self._schedule_next_submission()
 
     def _on_finish(self, name: str) -> None:
+        spans = self._spans
+        if spans is not None:
+            spans.begin("complete", job=name)
         self._running.pop(name)
         now = self.engine.now
         self._timelines[name].record(now, 0)
         self._completed_count += 1
         decisions = self.policy.on_complete(name, now)
         self._apply(decisions)
+        if spans is not None:
+            spans.end("complete", decisions=len(decisions))
         if self._accumulator is not None:
             # Streaming aggregation: fold the outcome in as scalars (no
             # JobOutcome per completion) and free the per-job state; the

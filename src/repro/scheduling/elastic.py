@@ -84,6 +84,7 @@ import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CapacityError, JobStateError
+from ..obs.metrics import active_registry
 from .job import JobRequest, JobState, SchedulerJob, priority_order_key
 from .joblist import IndexedJobList
 from .policy import (
@@ -135,6 +136,26 @@ class ElasticPolicyEngine:
         factory = getattr(config, "capacity_constraint", None)
         #: One fresh constraint per engine: budgets are engine state.
         self._constraint = factory() if factory is not None else None
+        #: Span recorder a tracing substrate may attach
+        #: (:class:`repro.obs.spans.PhaseSpans`); None = no span timing.
+        self.spans = None
+        # Telemetry binds at construction: with the registry disabled
+        # ``_obs`` is None and the instrumented branches never run —
+        # decision sequences are identical either way (the golden
+        # decision-log suite runs with a registry attached to prove it).
+        registry = active_registry()
+        if registry.enabled:
+            self._obs = registry
+            self._obs_redistributes = registry.counter("engine.redistribute_calls")
+            self._obs_shrink_passes = registry.counter("engine.shrink_pass_calls")
+            self._obs_queue_skips = registry.counter(
+                "engine.fig3.queue_blocks_skipped"
+            )
+            self._obs_running_skips = registry.counter(
+                "engine.fig3.running_blocks_skipped"
+            )
+        else:
+            self._obs = None
 
     # ------------------------------------------------------------------
     # Accounting
@@ -335,6 +356,8 @@ class ElasticPolicyEngine:
         interruption, ``gap = -inf`` (reclaiming a dead node is not a
         policy decision, so the rescale-gap courtesy does not apply).
         """
+        if self._obs is not None:
+            self._obs_shrink_passes.inc()
         blocks = self.running.blocks
         for b in range(len(blocks) - 1, -1, -1):
             if max_to_free <= 0:
@@ -562,6 +585,9 @@ class ElasticPolicyEngine:
             num_workers = self.free_slots
 
         decisions: List[Decision] = []
+        spans = self.spans
+        if spans is not None:
+            spans.begin("redistribute", budget=num_workers, trigger="complete")
         self._pending_starts = []
         try:
             self._redistribute(num_workers, now, decisions)
@@ -570,6 +596,8 @@ class ElasticPolicyEngine:
             for moved in started:
                 self.queue.remove(moved)
                 self.running.add(moved)
+            if spans is not None:
+                spans.end("redistribute", decisions=len(decisions))
         # Remaining freed workers return to the free pool implicitly.
         return self._log(decisions)
 
@@ -591,6 +619,8 @@ class ElasticPolicyEngine:
         is exactly the literal scan's (:meth:`_redistribute_scan`, which
         time-dependent-priority subclasses still use).
         """
+        if self._obs is not None:
+            self._obs_redistributes.inc()
         if self._constraint is not None or self._backfill is not None:
             # Hooked policies take the literal scan: constraint caps and
             # backfill gates are per-candidate state the block aggregates
@@ -604,6 +634,9 @@ class ElasticPolicyEngine:
         nr = len(rblocks)  # stable: the walk defers structural mutations
         qb = qi = 0
         rb = ri = rn = 0
+        # O(1)-skipped block tallies (local ints; flushed to the metrics
+        # registry after the walk — skips are O(blocks), not O(events)).
+        qskips = rskips = 0
         rjobs = None  # member run of the running block being walked
         runner = None  # cached next possibly-expandable runner (+ its key)
         runner_key = None
@@ -621,6 +654,7 @@ class ElasticPolicyEngine:
                 if block.min_needed > budget:
                     qb += 1
                     qi = 0
+                    qskips += 1
                     continue
                 jobs = block.jobs
                 jn = len(jobs)
@@ -653,6 +687,7 @@ class ElasticPolicyEngine:
                     block = rblocks[rb]
                     rb += 1
                     if block.expandable == 0 or now - block.oldest_action < gap:
+                        rskips += 1
                         continue
                     rjobs = block.jobs
                     rn = len(rjobs)
@@ -688,6 +723,11 @@ class ElasticPolicyEngine:
                     if add >= request.min_replicas:
                         decisions.append(self._start_queued(candidate, add, now))
                         num_workers -= add + reserve
+        if self._obs is not None:
+            if qskips:
+                self._obs_queue_skips.inc(qskips)
+            if rskips:
+                self._obs_running_skips.inc(rskips)
 
     def _redistribute_scan(
         self, num_workers: int, now: float, decisions: List[Decision]
@@ -831,6 +871,9 @@ class ElasticPolicyEngine:
         decisions: List[Decision] = []
         if budget <= 0:
             return decisions
+        spans = self.spans
+        if spans is not None:
+            spans.begin("redistribute", budget=budget, trigger="rebalance")
         self._pending_starts = []
         try:
             self._redistribute(budget, now, decisions)
@@ -839,6 +882,8 @@ class ElasticPolicyEngine:
             for moved in started:
                 self.queue.remove(moved)
                 self.running.add(moved)
+            if spans is not None:
+                spans.end("redistribute", decisions=len(decisions))
         return self._log(decisions)
 
     def _requeue(self, job: SchedulerJob, now: float) -> RequeueJob:
@@ -996,6 +1041,10 @@ class ElasticPolicyEngine:
     def _log(self, decisions: List[Decision]) -> List[Decision]:
         if self.keep_decision_log:
             self.decision_log.extend(decisions)
+        if self._obs is not None and decisions:
+            counter = self._obs.counter
+            for decision in decisions:
+                counter("engine.decisions." + type(decision).__name__).inc()
         return decisions
 
     # ------------------------------------------------------------------

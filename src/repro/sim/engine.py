@@ -34,8 +34,13 @@ import heapq
 from typing import Any, Callable, Iterable, List, Optional
 
 from ..errors import SimError, StopSimulation
+from ..obs.metrics import active_registry
 
 __all__ = ["Engine", "Timer"]
+
+#: Cohort = all events sharing one timestamp; buckets sized for the
+#: schedulers' typical same-instant decision fan-out.
+_COHORT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 #: Slot value marking a non-cancellable (plain ``post``) heap entry.
 _NO_SLOT = -1
@@ -111,6 +116,21 @@ class Engine:
         #: Total events executed over the engine's lifetime (all runs);
         #: the benchmark harness divides this by wall time for events/sec.
         self.events_executed: int = 0
+        #: Dead heap entries dropped (cancelled/rescheduled timers that
+        #: surfaced at the head); maintained on the rare drop path only.
+        self.stale_drops: int = 0
+        # Telemetry binds at construction (the zero-overhead contract):
+        # with the registry disabled both attributes are None and the hot
+        # loop's only cost is one pre-hoisted boolean per event.
+        registry = active_registry()
+        if registry.enabled:
+            self._obs = registry
+            self._cohort_hist = registry.histogram(
+                "sim.cohort_size", buckets=_COHORT_BUCKETS
+            )
+        else:
+            self._obs = None
+            self._cohort_hist = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -306,6 +326,12 @@ class Engine:
         free = self._free_slots
         heappop = heapq.heappop
         bounded = until is not None or max_events is not None
+        # Cohort telemetry: with the registry disabled ``track`` is False
+        # and the loop pays one local-boolean test per event, nothing more.
+        cohort_hist = self._cohort_hist
+        track = cohort_hist is not None
+        cohort_time = None
+        cohort_n = 0
         try:
             while True:
                 if self._stopped:
@@ -317,6 +343,7 @@ class Engine:
                     if slot < 0 or epochs[slot] == head[3]:
                         break
                     heappop(heap)
+                    self.stale_drops += 1
                 if not heap:
                     break
                 if bounded:
@@ -327,6 +354,14 @@ class Engine:
                         raise SimError(f"exceeded max_events={max_events}")
                 time, _seq, slot, epoch, fn, args = heappop(heap)
                 self._now = time
+                if track:
+                    if time == cohort_time:
+                        cohort_n += 1
+                    else:
+                        if cohort_n:
+                            cohort_hist.observe(cohort_n)
+                        cohort_time = time
+                        cohort_n = 1
                 if slot >= 0:
                     epochs[slot] = epoch + 1
                     free.append(slot)
@@ -338,6 +373,13 @@ class Engine:
         finally:
             self._running = False
             self.events_executed += count
+            if track:
+                if cohort_n:
+                    cohort_hist.observe(cohort_n)
+                obs = self._obs
+                obs.gauge("sim.heap_pushes").set(self._seq)
+                obs.gauge("sim.stale_drops").set(self.stale_drops)
+                obs.gauge("sim.events_executed").set(self.events_executed)
         if until is not None and self._now < until and self.peek() is None:
             # Nothing left to do; advance the clock to the horizon so
             # repeated run(until=...) calls observe monotonic time.
@@ -356,6 +398,12 @@ class Engine:
         """Number of live (non-cancelled) pending timers.  O(1)."""
         return self._live
 
+    @property
+    def heap_pushes(self) -> int:
+        """Total heap entries ever pushed (the sequence counter doubles
+        as the push count: every entry consumes one sequence number)."""
+        return self._seq
+
     def _drop_cancelled(self) -> None:
         heap = self._heap
         epochs = self._slot_epoch
@@ -365,6 +413,7 @@ class Engine:
             if slot < 0 or epochs[slot] == head[3]:
                 return
             heapq.heappop(heap)
+            self.stale_drops += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now:.6g} pending={self.pending_count()}>"

@@ -44,13 +44,17 @@ class Tracer:
     Parameters
     ----------
     engine:
-        Engine whose clock stamps the records.
+        Engine whose clock stamps the records.  May be ``None`` at
+        construction when the engine does not exist yet — the simulators
+        bind their engine onto an unbound tracer at ``__init__`` (the
+        ``repro obs export-trace --cloud`` path); emitting before the
+        bind is an error.
     categories:
         If given, only these categories (or their dotted prefixes) record;
         everything else is dropped at emit time.
     """
 
-    def __init__(self, engine, categories: Optional[Iterable[str]] = None):
+    def __init__(self, engine=None, categories: Optional[Iterable[str]] = None):
         self.engine = engine
         self.records: List[TraceRecord] = []
         self._categories: Optional[Set[str]] = set(categories) if categories else None

@@ -1,0 +1,27 @@
+"""Shared obs-test plumbing: every test leaves the process-wide
+telemetry state (active registry, log threshold) exactly as it found it,
+so the obs suite cannot leak an enabled registry into the perf-sensitive
+rest of the test run."""
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry_state():
+    registry_before = obs_metrics.active_registry()
+    threshold_before = obs_log._threshold
+    yield
+    if registry_before.enabled:
+        obs_metrics.enable(registry_before)
+    else:
+        obs_metrics.disable()
+    obs_log.set_level(threshold_before)
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry installed as the process-wide active one."""
+    return obs_metrics.enable()

@@ -1,0 +1,100 @@
+"""The ``repro obs`` CLI verbs and the bench document/schema plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExportTrace:
+    def test_export_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["obs", "export-trace", "--jobs", "20",
+                     "--output", str(out)]) == 0
+        document = json.load(open(out))
+        events = document["traceEvents"]
+        assert events and {"name", "ph", "ts", "pid", "tid"} <= set(events[0])
+        assert any(e["ph"] == "B" for e in events)
+        manifest = document["otherData"]["manifest"]
+        assert manifest["seed"] == 0 and manifest["policy"] == "elastic"
+        assert "exported" in capsys.readouterr().out
+
+    def test_export_trace_cloud_path(self, tmp_path):
+        out = tmp_path / "cloud.json"
+        assert main(["obs", "export-trace", "--cloud", "--jobs", "12",
+                     "--output", str(out)]) == 0
+        document = json.load(open(out))
+        categories = {e.get("cat") for e in document["traceEvents"]}
+        assert any(c and c.startswith("cloud.") for c in categories)
+
+
+class TestDashboardVerb:
+    def test_dashboard_renders(self, tmp_path):
+        (tmp_path / "BENCH_policy_engine.json").write_text(json.dumps({
+            "benchmark": "policy_engine",
+            "manifest": {"git_sha": "abc", "created_utc": "2026-08-08T00:00:00Z"},
+            "results": {"engine_1000": {"normalized": 0.02}},
+        }))
+        out = tmp_path / "dash.html"
+        assert main(["obs", "dashboard", "--input", str(tmp_path),
+                     "--output", str(out)]) == 0
+        assert "<svg" in out.read_text()
+
+    def test_dashboard_empty_dir_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "dashboard", "--input", str(tmp_path),
+                     "--output", str(tmp_path / "d.html")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchDocuments:
+    @pytest.fixture(scope="class")
+    def document(self):
+        from repro.bench import run_bench
+
+        return run_bench(sizes=(200,), reference_max=0)
+
+    def test_document_carries_schema_and_manifest(self, document):
+        assert document["schema"] == 2
+        assert document["schema_version"] == 2
+        manifest = document["manifest"]
+        assert manifest["schema_version"] == 2
+        assert manifest["git_sha"]
+        assert manifest["created_utc"].endswith("Z")
+        assert manifest["wall_seconds"] > 0
+
+    def test_compare_results_warns_on_schema_mismatch(self, document):
+        import warnings
+
+        from repro.bench import compare_results
+
+        legacy = dict(document, schema=1)
+        legacy.pop("schema_version")
+        with pytest.warns(RuntimeWarning, match="schema mismatch"):
+            failures = compare_results(document, legacy, threshold=0.5)
+        assert failures == []  # rows still compared, and they match
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert compare_results(document, document) == []
+
+    def test_bench_quiet_flag_suppresses_progress(self, tmp_path, capsys):
+        from repro.obs.log import set_level
+
+        try:
+            assert main(["bench", "--sizes", "200", "--reference-max", "0",
+                         "--quiet", "--output", ""]) == 0
+            err = capsys.readouterr().err
+            assert "[repro.bench]" not in err
+        finally:
+            set_level("info")
+
+    def test_committed_baselines_are_schema_2(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        for name in ("BENCH_policy_engine.json", "BENCH_sweep.json",
+                     "BENCH_cloud.json"):
+            document = json.loads((root / name).read_text())
+            assert document["schema_version"] == 2, name
+            assert document["manifest"]["git_sha"], name

@@ -1,0 +1,142 @@
+"""The trend dashboard: artifact discovery, series folding, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.dashboard import (
+    DashboardError,
+    build_series,
+    collect_documents,
+    render_dashboard,
+    write_dashboard,
+)
+
+
+def bench_doc(sha, stamp, normalized, suite="policy_engine", **rows):
+    results = {
+        "engine_1000": {"jobs": 1000, "normalized": normalized},
+        "reference_1000": {"jobs": 1000, "normalized": 0.001},
+    }
+    results.update(rows)
+    return {
+        "benchmark": suite,
+        "schema": 2,
+        "schema_version": 2,
+        "manifest": {
+            "schema_version": 2,
+            "git_sha": sha,
+            "created_utc": stamp,
+        },
+        "results": results,
+    }
+
+
+@pytest.fixture
+def history(tmp_path):
+    """Two synthetic nightly artifact sets, one day apart."""
+    for run, (sha, stamp, normalized) in enumerate((
+        ("aaaa111122223333", "2026-08-07T01:00:00Z", 0.020),
+        ("bbbb444455556666", "2026-08-08T01:00:00Z", 0.022),
+    )):
+        run_dir = tmp_path / f"run{run}"
+        run_dir.mkdir()
+        (run_dir / "BENCH_policy_engine.json").write_text(
+            json.dumps(bench_doc(sha, stamp, normalized))
+        )
+        (run_dir / "BENCH_sweep.json").write_text(json.dumps({
+            "benchmark": "sweep",
+            "manifest": {"git_sha": sha, "created_utc": stamp},
+            "results": {
+                "sweep_cold": {"hit_rate": 0.0, "informational": True},
+                "sweep_warm": {"hit_rate": 1.0},
+            },
+        }))
+        (run_dir / "BENCH_cloud.json").write_text(json.dumps({
+            "benchmark": "cloud",
+            "manifest": {"git_sha": sha, "created_utc": stamp},
+            "results": {
+                "cloud_churn_2000": {
+                    "normalized": 0.01 + run * 0.001,
+                    "cost_per_job": 0.5 - run * 0.05,
+                },
+            },
+        }))
+        (run_dir / "notes.txt").write_text("not json")
+        (run_dir / "other.json").write_text('{"no": "benchmark key"}')
+    return tmp_path
+
+
+class TestCollect:
+    def test_finds_and_orders_documents(self, history):
+        documents = collect_documents(str(history))
+        assert len(documents) == 6
+        stamps = [d.timestamp for d in documents]
+        assert stamps == sorted(stamps)
+        assert {d.suite for d in documents} == {
+            "policy_engine", "sweep", "cloud"
+        }
+
+    def test_label_prefers_sha(self, history):
+        documents = collect_documents(str(history))
+        assert documents[0].label == "aaaa1111"
+
+    def test_mtime_fallback_without_manifest(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text(
+            json.dumps({"benchmark": "policy_engine", "results": {}})
+        )
+        (document,) = collect_documents(str(tmp_path))
+        assert document.timestamp.endswith("Z")
+        assert document.label == document.timestamp[:10]
+
+    def test_skips_malformed_json(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{truncated")
+        assert collect_documents(str(tmp_path)) == []
+
+
+class TestSeries:
+    def test_series_across_runs(self, history):
+        all_series = build_series(collect_documents(str(history)))
+        by_title = {s.title: s for s in all_series}
+        throughput = by_title["engine_1000 throughput"]
+        assert [y for _, y in throughput.points] == [0.020, 0.022]
+        cost = by_title["cloud_churn_2000 cost"]
+        assert cost.unit == "$/job"
+        assert len(cost.points) == 2
+
+    def test_reference_and_informational_rows_skipped(self, history):
+        titles = {s.title for s in
+                  build_series(collect_documents(str(history)))}
+        assert not any("reference_" in t for t in titles)
+        assert not any("sweep_cold" in t for t in titles)
+        assert "sweep_warm cache hit rate" in titles
+
+
+class TestRender:
+    def test_renders_from_two_nightly_sets(self, history):
+        page = render_dashboard(str(history))
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<svg" in page
+        assert "aaaa1111" in page and "bbbb4444" in page
+        assert "6 artifacts across 2 runs" in page
+        assert "+10.0% vs previous run" in page  # 0.020 -> 0.022
+
+    def test_write_dashboard_counts_artifacts(self, history, tmp_path):
+        output = tmp_path / "out"
+        output.mkdir()
+        path = output / "dashboard.html"
+        assert write_dashboard(str(history), str(path)) == 6
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(DashboardError):
+            render_dashboard(str(tmp_path))
+        with pytest.raises(DashboardError):
+            write_dashboard(str(tmp_path), str(tmp_path / "d.html"))
+
+    def test_single_run_renders_without_delta(self, tmp_path):
+        (tmp_path / "BENCH_one.json").write_text(json.dumps(
+            bench_doc("cccc0000dddd1111", "2026-08-08T02:00:00Z", 0.02)
+        ))
+        page = render_dashboard(str(tmp_path))
+        assert "vs previous run" not in page

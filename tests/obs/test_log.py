@@ -1,0 +1,78 @@
+"""The shared structured logger: levels, thresholds, field formatting."""
+
+import io
+
+import pytest
+
+from repro.obs.log import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    StructuredLogger,
+    get_logger,
+    level_of,
+    set_level,
+)
+
+
+def capture_logger(name="t"):
+    stream = io.StringIO()
+    return StructuredLogger(name, stream=stream), stream
+
+
+class TestLevels:
+    def test_level_of_names_and_numbers(self):
+        assert level_of("debug") == DEBUG
+        assert level_of("INFO") == INFO
+        assert level_of("warn") == WARNING
+        assert level_of(ERROR) == ERROR
+        with pytest.raises(ValueError):
+            level_of("loud")
+
+    def test_threshold_filters(self):
+        log, stream = capture_logger()
+        set_level("warning")
+        log.info("quiet progress")
+        log.warning("kept")
+        out = stream.getvalue()
+        assert "quiet progress" not in out
+        assert "kept" in out
+
+    def test_debug_off_by_default(self):
+        set_level(INFO)
+        log, stream = capture_logger()
+        log.debug("noise")
+        assert stream.getvalue() == ""
+
+
+class TestFormat:
+    def test_info_line_shape(self):
+        set_level(INFO)
+        log, stream = capture_logger("repro.bench")
+        log.info("engine churn", jobs=100)
+        assert stream.getvalue() == "... [repro.bench] engine churn jobs=100\n"
+
+    def test_warning_carries_level_tag(self):
+        set_level(INFO)
+        log, stream = capture_logger()
+        log.warning("slow path")
+        log.error("broken")
+        out = stream.getvalue()
+        assert " warning: " in out and " error: " in out
+
+    def test_fields_sorted(self):
+        set_level(INFO)
+        log, stream = capture_logger()
+        log.info("m", zeta=1, alpha=2)
+        assert stream.getvalue().rstrip().endswith("m alpha=2 zeta=1")
+
+
+class TestGetLogger:
+    def test_memoized_per_name(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_stderr_resolved_at_emit_time(self, capsys):
+        set_level(INFO)
+        get_logger("emit-test").info("hello")
+        assert "[emit-test] hello" in capsys.readouterr().err

@@ -1,0 +1,73 @@
+"""RunManifest provenance: field collection, digests, environment hooks."""
+
+import json
+
+from repro.obs import manifest as M
+
+
+class TestGitSha:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setattr(M, "_git_sha", None)
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafe0123feed")
+        assert M.git_sha() == "cafe0123feed"
+        monkeypatch.setattr(M, "_git_sha", None)
+
+    def test_resolves_and_caches(self, monkeypatch):
+        monkeypatch.setattr(M, "_git_sha", None)
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        sha = M.git_sha()
+        assert sha and " " not in sha
+        assert M.git_sha() is sha  # cached
+        monkeypatch.setattr(M, "_git_sha", None)
+
+
+class TestConfigDigest:
+    def test_stable_across_key_order(self):
+        a = M.config_digest({"x": 1, "y": [2, 3]})
+        b = M.config_digest({"y": [2, 3], "x": 1})
+        assert a == b and len(a) == 16
+
+    def test_distinct_configs_differ(self):
+        assert M.config_digest({"x": 1}) != M.config_digest({"x": 2})
+
+    def test_non_json_values_stringified(self):
+        assert M.config_digest({"path": object()})  # no raise
+
+
+class TestRunManifest:
+    def test_collect_fills_process_facts(self):
+        manifest = M.RunManifest.collect(
+            command="bench", seed=7, policy="elastic",
+            config={"jobs": 16}, wall_seconds=1.23456789,
+            virtual_seconds=100.0,
+        )
+        d = manifest.as_dict()
+        assert d["schema_version"] == M.MANIFEST_SCHEMA_VERSION
+        assert d["command"] == "bench" and d["seed"] == 7
+        assert d["policy"] == "elastic"
+        assert d["wall_seconds"] == 1.234568
+        assert d["virtual_seconds"] == 100.0
+        assert d["peak_rss_kb"] > 0
+        assert len(d["config_digest"]) == 16
+        # ISO-8601 UTC with Z suffix
+        assert d["created_utc"].endswith("Z") and "T" in d["created_utc"]
+        assert d["python"] and d["machine"]
+
+    def test_as_dict_drops_unset_fields(self):
+        d = M.RunManifest.collect().as_dict()
+        assert "seed" not in d and "config_digest" not in d
+        assert "extra" not in d
+
+    def test_extra_fields_ride_along(self):
+        d = M.RunManifest.collect(suite="cloud").as_dict()
+        assert d["extra"] == {"suite": "cloud"}
+
+    def test_json_serializable(self):
+        document = M.RunManifest.collect(config={"a": 1}).as_dict()
+        assert json.loads(json.dumps(document)) == document
+
+    def test_timestamp_format(self):
+        from datetime import datetime
+
+        stamp = M.utc_timestamp()
+        datetime.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")  # no raise

@@ -1,0 +1,129 @@
+"""MetricsRegistry semantics: instruments, memoization, and the
+zero-overhead-when-off contract (a disabled registry records nothing and
+allocates no bucket storage)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    disable,
+    enable,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self, registry):
+        c = registry.counter("a.b")
+        c.inc()
+        c.inc(4)
+        assert registry.snapshot()["a.b"] == 5
+
+    def test_counter_memoized_by_name(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+    def test_gauge_last_value_wins(self, registry):
+        g = registry.gauge("g")
+        g.set(3.5)
+        g.set(1.25)
+        g.inc(0.75)
+        assert registry.snapshot()["g"] == 2.0
+
+    def test_histogram_buckets_and_stats(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 5.0, 100.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 4
+        assert d["min"] == 0.5 and d["max"] == 100.0
+        assert d["buckets"] == {"1.0": 1, "10.0": 2, "+inf": 1}
+        assert h.mean == pytest.approx(110.5 / 4)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=())
+
+    def test_snapshot_flattens_all_kinds(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 1 and snap["g"] == 2
+        assert snap["h"]["count"] == 1
+        assert registry.format_lines()  # human form renders
+
+    def test_same_name_different_kinds_coexist(self, registry):
+        registry.counter("n").inc()
+        registry.histogram("n.h").observe(1.0)
+        assert set(registry.snapshot()) == {"n", "n.h"}
+
+
+class TestDisabledRegistry:
+    def test_disabled_hands_out_shared_nulls(self):
+        off = MetricsRegistry(enabled=False)
+        assert off.counter("a") is NULL_COUNTER
+        assert off.gauge("b") is NULL_COUNTER
+        assert off.histogram("c", buckets=(1.0,)) is NULL_HISTOGRAM
+
+    def test_null_instruments_allocate_no_state(self):
+        # Empty __slots__ and no __dict__: observing cannot allocate
+        # bucket storage or any other per-instance state.
+        assert NULL_COUNTER.__class__.__slots__ == ()
+        assert NULL_HISTOGRAM.__class__.__slots__ == ()
+        assert not hasattr(NULL_COUNTER, "__dict__")
+        assert not hasattr(NULL_HISTOGRAM, "__dict__")
+        assert not hasattr(NULL_HISTOGRAM, "bucket_counts")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(("counter", "gauge", "histogram")),
+                st.text(min_size=1, max_size=12),
+                st.floats(allow_nan=False, allow_infinity=False,
+                          width=32),
+            ),
+            max_size=30,
+        )
+    )
+    def test_disabled_registry_records_nothing(self, ops):
+        off = MetricsRegistry(enabled=False)
+        for kind, name, value in ops:
+            if kind == "counter":
+                off.counter(name).inc()
+            elif kind == "gauge":
+                off.gauge(name).set(value)
+            else:
+                off.histogram(name).observe(value)
+        assert off.snapshot() == {}
+        assert off._counters == {} and off._gauges == {}
+        assert off._histograms == {}
+        assert NULL_COUNTER.value == 0
+        assert NULL_HISTOGRAM.count == 0
+
+
+class TestActiveRegistry:
+    def test_default_is_disabled(self):
+        disable()
+        assert active_registry().enabled is False
+
+    def test_enable_installs_fresh_then_disable_restores(self):
+        first = enable()
+        assert active_registry() is first and first.enabled
+        second = enable()
+        assert second is not first
+        disable()
+        assert active_registry().enabled is False
+
+    def test_enable_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        assert enable(mine) is mine
+        assert active_registry() is mine

@@ -1,0 +1,148 @@
+"""Span recording + Chrome-trace export, round-tripped through JSON.
+
+The headline test traces a full 200-job simulator run, exports it, and
+verifies the Trace Event Format contract a real viewer relies on:
+loadable JSON, non-decreasing ``ts`` per process, every ``B`` paired
+with its ``E`` on the same lane, and a pid/tid mapping that is stable
+across exports of the same run.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.perfetto import VIRTUAL_PID, WALL_PID, to_chrome_trace
+from repro.obs.spans import PhaseSpans
+from repro.scheduling.registry import REGISTRY
+from repro.schedsim import ScheduleSimulator, WorkloadSpec, generate_workload
+from repro.sim import Engine, Tracer
+
+
+class FakeTracer:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, category, message, **fields):
+        from repro.sim.trace import TraceRecord
+
+        self.records.append(
+            TraceRecord(time=0.0, category=category, message=message,
+                        fields=fields)
+        )
+
+
+class TestPhaseSpans:
+    def test_begin_end_emit_paired_records(self):
+        tracer = FakeTracer()
+        ticks = iter(range(100))
+        spans = PhaseSpans(tracer, clock=lambda: next(ticks))
+        spans.begin("submit", job="j1")
+        spans.end("submit", decisions=2)
+        b, e = tracer.records
+        assert b.category == e.category == "obs.span.submit"
+        assert b.fields["ph"] == "B" and e.fields["ph"] == "E"
+        assert b.fields["job"] == "j1" and e.fields["decisions"] == 2
+        assert e.fields["wall"] > b.fields["wall"]
+
+    def test_span_context_manager_ends_on_error(self):
+        tracer = FakeTracer()
+        spans = PhaseSpans(tracer)
+        with pytest.raises(RuntimeError):
+            with spans.span("phase"):
+                raise RuntimeError("boom")
+        assert [r.fields["ph"] for r in tracer.records] == ["B", "E"]
+
+
+def traced_run(num_jobs=200, seed=5):
+    engine = Engine()
+    tracer = Tracer(engine)
+    simulator = ScheduleSimulator(
+        REGISTRY.resolve("elastic"), total_slots=64, engine=engine,
+        tracer=tracer,
+    )
+    spec = WorkloadSpec(num_jobs=num_jobs, submission_gap=90.0, seed=seed)
+    simulator.run(generate_workload(spec), retain="metrics")
+    return tracer
+
+
+class TestChromeTraceRoundTrip:
+    @pytest.fixture(scope="class")
+    def tracer(self):
+        return traced_run()
+
+    @pytest.fixture(scope="class")
+    def document(self, tracer):
+        # The actual round trip: serialized then parsed back.
+        return json.loads(json.dumps(to_chrome_trace(tracer.records)))
+
+    def test_valid_trace_event_format(self, document):
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        for event in document["traceEvents"]:
+            assert event["ph"] in ("B", "E", "i", "M")
+            assert isinstance(event["ts"], (int, float))
+            assert event["pid"] in (WALL_PID, VIRTUAL_PID)
+
+    def test_covers_the_whole_run(self, tracer, document):
+        # 200 submissions + 200 completions + their redistributes, each
+        # a B/E pair.
+        bs = [e for e in document["traceEvents"] if e["ph"] == "B"]
+        assert len(bs) == sum(
+            1 for r in tracer.records if r.fields.get("ph") == "B"
+        )
+        assert len(bs) >= 400
+
+    def test_ts_monotonic_per_process(self, document):
+        # Wall-clock spans and virtual-time instants are two different
+        # clocks: monotonicity holds within each pid block.
+        for pid in (WALL_PID, VIRTUAL_PID):
+            ts = [e["ts"] for e in document["traceEvents"]
+                  if e["pid"] == pid and e["ph"] != "M"]
+            assert ts == sorted(ts)
+
+    def test_every_begin_pairs_with_end_on_its_lane(self, document):
+        depth = {}
+        for event in document["traceEvents"]:
+            if event["ph"] not in ("B", "E"):
+                continue
+            lane = (event["pid"], event["tid"], event["name"])
+            if event["ph"] == "B":
+                depth[lane] = depth.get(lane, 0) + 1
+            else:
+                depth[lane] = depth.get(lane, 0) - 1
+                assert depth[lane] >= 0, f"E without B on {lane}"
+        assert all(v == 0 for v in depth.values())
+
+    def test_lanes_are_named_by_metadata(self, document):
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        names = {(e["pid"], e["tid"]): e["args"]["name"] for e in metadata
+                 if e["name"] == "thread_name"}
+        used = {(e["pid"], e["tid"]) for e in document["traceEvents"]
+                if e["ph"] in ("B", "E", "i")}
+        assert used <= set(names)
+        process_names = {e["args"]["name"] for e in metadata
+                         if e["name"] == "process_name"}
+        assert process_names == {"repro wall clock", "repro virtual time"}
+        # Span events land on the lane named after their phase.
+        for event in document["traceEvents"]:
+            if event["ph"] in ("B", "E"):
+                assert names[(event["pid"], event["tid"])] == event["name"]
+
+    def test_pid_tid_mapping_stable_across_exports(self, tracer):
+        first = to_chrome_trace(tracer.records)
+        second = to_chrome_trace(tracer.records)
+        assert first == second
+
+    def test_manifest_rides_in_other_data(self, tracer):
+        document = to_chrome_trace(
+            tracer.records, manifest={"git_sha": "abc123"}
+        )
+        assert document["otherData"]["manifest"]["git_sha"] == "abc123"
+
+    def test_instants_keep_structured_fields(self):
+        tracer = FakeTracer()
+        tracer.emit("cloud.node.ready", "node online", node=3, slots=8)
+        document = to_chrome_trace(tracer.records)
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["args"]["node"] == 3
+        assert instants[0]["cat"] == "cloud.node.ready"
