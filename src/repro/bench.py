@@ -60,12 +60,14 @@ __all__ = [
     "run_bench",
     "run_sweep_bench",
     "run_cloud_bench",
+    "run_faults_bench",
     "compare_results",
     "format_results",
     "DEFAULT_SIZES",
     "DEFAULT_OUTPUT",
     "DEFAULT_SWEEP_OUTPUT",
     "DEFAULT_CLOUD_OUTPUT",
+    "DEFAULT_FAULTS_OUTPUT",
 ]
 
 #: BENCH_*.json document schema.  v2 added ``schema_version`` (v1 spelled
@@ -82,6 +84,7 @@ DEFAULT_SIZES = (1_000, 10_000, 100_000)
 DEFAULT_OUTPUT = "BENCH_policy_engine.json"
 DEFAULT_SWEEP_OUTPUT = "BENCH_sweep.json"
 DEFAULT_CLOUD_OUTPUT = "BENCH_cloud.json"
+DEFAULT_FAULTS_OUTPUT = "BENCH_faults.json"
 #: Spot-churn workload sizes for the cloud suite.
 CLOUD_CHURN_SIZES = (2_000, 20_000)
 #: Largest size the O(n log n)-per-event reference engine is asked to run.
@@ -415,6 +418,136 @@ def run_cloud_bench(
     }
 
 
+def bench_faults_churn(n_jobs: int = 2_000, seed: int = 18) -> Dict:
+    """Cloud-simulator throughput with the full fault stack attached.
+
+    A synthesized plan spreads crashes, noticed interruptions, and
+    degraded-provisioning windows across the whole arrival span, and a
+    checkpoint store is attached — so the measured events/sec includes
+    notice handling, checkpoint writes, restarts, retry/backoff chains,
+    and breaker bookkeeping.  Compared against ``cloud_churn_*`` this
+    bounds what fault injection adds to the capacity hot path.
+    """
+    from .faults.plan import FaultLoad, FaultPlan
+    from .faults.runner import run_fault_scenario
+
+    gap = 15.0
+    horizon = n_jobs * gap
+    plan = FaultPlan.synthesize(
+        seed, horizon,
+        FaultLoad(crashes=8, interruptions=12, notice=120.0,
+                  fail_windows=3, timeout_windows=2, shortage_windows=2,
+                  window_duration=900.0),
+    )
+    _reset_rss_peak()
+    begin = time.perf_counter()
+    run, simulator = run_fault_scenario(
+        plan=plan, seed=seed, num_jobs=n_jobs, submission_gap=gap,
+        retain="metrics", with_simulator=True,
+    )
+    seconds = time.perf_counter() - begin
+    events = simulator.engine.events_executed
+    report = run.faults
+    return {
+        "jobs": n_jobs,
+        "events": events,
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(events / seconds, 2),
+        "peak_rss_kb": _peak_rss_kb(),
+        "evictions": report.evictions,
+        "checkpoints_written": report.checkpoints_written,
+        "provision_retries": report.provision_retries,
+        "goodput_fraction": round(report.goodput_fraction, 6),
+    }
+
+
+def bench_faults_chaos(checkpoints: bool, seed: int = 0) -> Dict:
+    """One reference chaos run; timing plus the recovery story."""
+    from .faults.runner import run_fault_scenario
+
+    _reset_rss_peak()
+    begin = time.perf_counter()
+    run, simulator = run_fault_scenario(
+        seed=seed, checkpoints=checkpoints, with_simulator=True
+    )
+    seconds = time.perf_counter() - begin
+    events = simulator.engine.events_executed
+    report = run.faults
+    return {
+        "jobs": run.result.metrics.job_count,
+        "events": events,
+        "seconds": round(seconds, 6),
+        "events_per_sec": round(events / seconds, 2),
+        "peak_rss_kb": _peak_rss_kb(),
+        "makespan": round(run.result.makespan, 2),
+        "goodput_fraction": round(report.goodput_fraction, 6),
+        "goodput_slot_seconds": round(report.goodput_slot_seconds, 2),
+        "lost_slot_seconds": round(report.lost_slot_seconds, 2),
+        "recovered_slot_seconds": round(report.recovered_slot_seconds, 2),
+        "evictions": report.evictions,
+        "restarts_from_checkpoint": report.restarts_from_checkpoint,
+        "checkpoints_written": report.checkpoints_written,
+        "decision_digest": run.digest,
+        # ~24-job runs finish in milliseconds; the timing is too noisy
+        # to gate, but the goodput columns (virtual-time, deterministic)
+        # feed the faults_recovery_delta gating row below.
+        "informational": True,
+    }
+
+
+def run_faults_bench(progress=None) -> Dict:
+    """The ``--suite faults`` benchmarks → ``BENCH_faults.json``.
+
+    ``faults_churn_2000`` gates fault-stack throughput (normalized
+    events/sec, like the cloud suite); ``faults_recovery_delta`` gates
+    the *recovery value* itself — its ``normalized`` is the checkpoint
+    on-vs-off goodput-fraction delta, a pure virtual-time number that is
+    identical on every machine, so any behavioral regression in the
+    checkpoint/restart path trips the same 30% gate CI already runs.
+    """
+    say = _progress(progress)
+    begin_wall = time.perf_counter()
+    say("calibrating machine score...")
+    calibration = calibration_score()
+    results: Dict[str, Dict] = {}
+    say("fault-stack churn, 2000 jobs...")
+    results["faults_churn_2000"] = bench_faults_churn()
+    say("reference chaos, checkpoints on...")
+    on = bench_faults_chaos(checkpoints=True)
+    say("reference chaos, checkpoints off...")
+    off = bench_faults_chaos(checkpoints=False)
+    results["faults_chaos_on"] = on
+    results["faults_chaos_off"] = off
+    for row in results.values():
+        row["normalized"] = round(row["events_per_sec"] / calibration, 6)
+    results["faults_recovery_delta"] = {
+        "goodput_fraction_on": on["goodput_fraction"],
+        "goodput_fraction_off": off["goodput_fraction"],
+        "recovered_slot_seconds": on["recovered_slot_seconds"],
+        "lost_delta_slot_seconds": round(
+            off["lost_slot_seconds"] - on["lost_slot_seconds"], 2
+        ),
+        "normalized": round(
+            on["goodput_fraction"] - off["goodput_fraction"], 6
+        ),
+    }
+    return {
+        "benchmark": "faults",
+        "schema": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calibration_ops_per_sec": round(calibration, 2),
+        "manifest": RunManifest.collect(
+            command="bench --suite faults",
+            policy="elastic",
+            config={"churn_jobs": 2_000, "chaos_seed": 0},
+            wall_seconds=time.perf_counter() - begin_wall,
+        ).as_dict(),
+        "results": results,
+    }
+
+
 def run_sweep_bench(
     trials: int = 10,
     gaps: Sequence[float] = (0.0, 150.0, 300.0),
@@ -604,6 +737,8 @@ def check_speedup(current: Dict, min_speedup: float, at_jobs: int) -> Optional[s
 def format_results(document: Dict) -> str:
     if document.get("benchmark") == "sweep":
         return _format_sweep_results(document)
+    if document.get("benchmark") == "faults":
+        return _format_faults_results(document)
     lines = [
         f"# {document.get('benchmark', 'policy_engine')} bench — python "
         f"{document['python']} ({document['machine']}), "
@@ -619,6 +754,34 @@ def format_results(document: Dict) -> str:
         )
     for jobs, ratio in document.get("speedup_vs_reference", {}).items():
         lines.append(f"speedup vs pre-PR engine at {jobs} jobs: {ratio:.2f}x")
+    return "\n".join(lines)
+
+
+def _format_faults_results(document: Dict) -> str:
+    lines = [
+        f"# faults bench — python {document['python']} "
+        f"({document['machine']}), "
+        f"calibration {document['calibration_ops_per_sec']:.0f} ops/s",
+        f"{'scenario':>20} {'jobs':>6} {'events':>8} {'seconds':>9} "
+        f"{'events/s':>11} {'goodput':>8} {'norm':>9}",
+    ]
+    for key, row in document["results"].items():
+        if "events" not in row:
+            continue
+        goodput = row.get("goodput_fraction")
+        lines.append(
+            f"{key:>20} {row['jobs']:>6} {row['events']:>8} "
+            f"{row['seconds']:>9.3f} {row['events_per_sec']:>11.0f} "
+            f"{goodput:>8.2%} {row['normalized']:>9.4f}"
+        )
+    delta = document["results"].get("faults_recovery_delta")
+    if delta:
+        lines.append(
+            f"recovery delta: goodput {delta['goodput_fraction_on']:.2%} "
+            f"(ckpt on) vs {delta['goodput_fraction_off']:.2%} (off), "
+            f"{delta['recovered_slot_seconds']:,.0f} slot-s recovered, "
+            f"{delta['lost_delta_slot_seconds']:,.0f} slot-s less lost"
+        )
     return "\n".join(lines)
 
 
@@ -662,7 +825,7 @@ def main_bench(args) -> int:
     progress = None  # the suites log through repro.obs.log
     suite = getattr(args, "suite", "engine")
     output = args.output
-    if suite in ("sweep", "cloud"):
+    if suite in ("sweep", "cloud", "faults"):
         # Refuse engine-only flags rather than silently dropping them
         # (or "passing" a gate that never ran).
         for flag, value in (("--min-speedup", args.min_speedup),
@@ -679,6 +842,10 @@ def main_bench(args) -> int:
             document = run_sweep_bench(progress=progress)
             if output is None:
                 output = DEFAULT_SWEEP_OUTPUT
+        elif suite == "faults":
+            document = run_faults_bench(progress=progress)
+            if output is None:
+                output = DEFAULT_FAULTS_OUTPUT
         else:
             document = run_cloud_bench(progress=progress)
             if output is None:

@@ -19,9 +19,24 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 from ..errors import CheckpointError
+from .faulttolerance import (  # noqa: F401 - historical import location
+    DISK_BANDWIDTH,
+    DiskCheckpoint,
+    DiskCheckpointStore,
+)
 from .rts import CharmRuntime
 
-__all__ = ["CheckpointImage", "checkpoint_to_shm", "restore_from_shm"]
+# The disk-backed store (the §3.2.2 fault-tolerance path) lives in
+# ``repro.charm.faulttolerance`` but is commonly looked for here next to
+# its shm sibling, so it is re-exported.
+__all__ = [
+    "CheckpointImage",
+    "checkpoint_to_shm",
+    "restore_from_shm",
+    "DiskCheckpoint",
+    "DiskCheckpointStore",
+    "DISK_BANDWIDTH",
+]
 
 #: Per-segment metadata overhead (headers, directory) in bytes.
 SEGMENT_OVERHEAD_BYTES = 4096

@@ -82,6 +82,47 @@ class DiskCheckpointStore:
         self.writes += 1
         return checkpoint
 
+    def write_state(self, job_name: str, completed_steps: int,
+                    nominal_bytes: int, now: float = 0.0,
+                    payload: Optional[bytes] = None) -> DiskCheckpoint:
+        """Record a checkpoint without a live Charm runtime.
+
+        The scheduling substrate models applications at job granularity
+        (steps done, bytes of state) rather than as chare arrays; this
+        is the same store with the serialization externalized.  Steps
+        land on a step boundary (``int``) — a checkpoint mid-step is
+        not a consistent cut.  ``nominal_bytes`` drives ``io_seconds``
+        exactly as the chare path's payload size does.
+        """
+        if completed_steps < 0:
+            raise CheckpointError(
+                f"completed_steps must be >= 0, got {completed_steps}"
+            )
+        if nominal_bytes < 0:
+            raise CheckpointError(
+                f"nominal_bytes must be >= 0, got {nominal_bytes}"
+            )
+        if payload is None:
+            payload = pickle.dumps(
+                {"job": job_name, "steps": int(completed_steps)},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        checkpoint = DiskCheckpoint(
+            job_name=job_name,
+            completed_steps=int(completed_steps),
+            payload=payload,
+            nominal_bytes=int(nominal_bytes),
+            written_at=now,
+        )
+        self._store[job_name] = checkpoint
+        self.writes += 1
+        return checkpoint
+
+    def peek(self, job_name: str) -> Optional[DiskCheckpoint]:
+        """The stored checkpoint, without counting a read (accounting
+        peeks must not inflate the restore counter)."""
+        return self._store.get(job_name)
+
     def read(self, job_name: str) -> DiskCheckpoint:
         try:
             checkpoint = self._store[job_name]

@@ -12,6 +12,7 @@ provides the equivalents against the simulated cluster::
     python -m repro policies list|show ...           # the scheduler registry
     python -m repro bench [--baseline BENCH_*.json]  # hot-path regression gate
     python -m repro obs export-trace|dashboard ...   # Perfetto traces, trends
+    python -m repro faults plan|replay|chaos ...     # deterministic chaos
 
 Policy names are resolved through the scheduler registry
 (:mod:`repro.scheduling.registry`), so third-party policies shipped via
@@ -328,6 +329,13 @@ def _cmd_obs(args) -> int:
     return main_obs(args)
 
 
+def _cmd_faults(args) -> int:
+    """Fault-injection verbs: plan synthesis, replay, chaos (repro.faults)."""
+    from .faults.cli import main_faults
+
+    return main_faults(args)
+
+
 def _cmd_figure(args) -> int:
     name = args.command
     if name == "fig4":
@@ -484,14 +492,17 @@ def build_parser() -> argparse.ArgumentParser:
                     "regression vs a committed baseline.",
     )
     bench.add_argument("--suite", default="engine",
-                       choices=("engine", "policy_engine", "sweep", "cloud"),
+                       choices=("engine", "policy_engine", "sweep", "cloud",
+                                "faults"),
                        help="'engine' = churn/simulator throughput (default; "
                             "'policy_engine' is an alias matching the "
                             "BENCH_policy_engine.json it writes); "
                             "'sweep' = sweep throughput + trial-cache "
                             "hit rates (BENCH_sweep.json); 'cloud' = "
                             "spot-churn and autoscaler-grid events/sec "
-                            "(BENCH_cloud.json)")
+                            "(BENCH_cloud.json); 'faults' = chaos-run "
+                            "throughput + checkpoint recovery delta "
+                            "(BENCH_faults.json)")
     bench.add_argument("--sizes", default=None,
                        help="comma-separated job counts (engine suite only; "
                             "default: 1000,10000,100000)")
@@ -558,6 +569,57 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--title", default="repro nightly trends",
                      help="dashboard page title")
     obs.set_defaults(fn=_cmd_obs)
+
+    faults = sub.add_parser(
+        "faults",
+        help="deterministic fault injection: synthesize/replay plans, "
+             "run the reference chaos scenario",
+        description="plan synthesizes a seeded fault timeline (JSON, "
+                    "replayable byte-for-byte). replay runs a plan file "
+                    "(or the reference plan) through the cloud simulator "
+                    "and prints the fault report + decision digest. "
+                    "chaos runs the committed reference scenario with "
+                    "checkpoints on AND off and prints the recovery "
+                    "delta — output is fully deterministic, so CI runs "
+                    "it twice and diffs.",
+    )
+    faults.add_argument("action", choices=("plan", "replay", "chaos"))
+    faults.add_argument("--seed", type=int, default=7,
+                        help="plan-synthesis / workload seed (default 7 "
+                             "for plan, reference-plan seed for "
+                             "replay/chaos)")
+    faults.add_argument("--horizon", type=float, default=2400.0,
+                        help="plan: timeline horizon seconds")
+    faults.add_argument("--crashes", type=int, default=2)
+    faults.add_argument("--interruptions", type=int, default=3)
+    faults.add_argument("--notice", type=float, default=120.0,
+                        help="reclaim notice window seconds")
+    faults.add_argument("--fail-windows", type=int, default=1)
+    faults.add_argument("--timeout-windows", type=int, default=0)
+    faults.add_argument("--shortage-windows", type=int, default=0)
+    faults.add_argument("--window-duration", type=float, default=600.0)
+    faults.add_argument("--pool", default=None,
+                        help="restrict synthesized faults to one pool")
+    faults.add_argument("--output", default=None,
+                        help="plan: also write the JSON plan here")
+    faults.add_argument("--plan", default=None,
+                        help="replay: fault-plan JSON path (default: the "
+                             "reference chaos plan)")
+    faults.add_argument("--policy", default="elastic",
+                        choices=policy_names)
+    faults.add_argument("--autoscaler", default="queue",
+                        choices=("static", "queue", "utilization", "idle"))
+    faults.add_argument("--jobs", type=int, default=24)
+    faults.add_argument("--gap", type=float, default=60.0)
+    faults.add_argument("--rescale-gap", type=float, default=180.0)
+    faults.add_argument("--no-checkpoints", action="store_true",
+                        help="replay: disable notice-window checkpointing")
+    faults.add_argument("--max-retries", type=int, default=4,
+                        help="provisioning retry budget per boot chain")
+    faults.add_argument("--retry-base-delay", type=float, default=30.0,
+                        help="first retry backoff seconds (doubles, "
+                             "capped, jittered)")
+    faults.set_defaults(fn=_cmd_faults)
 
     policies = sub.add_parser(
         "policies",

@@ -25,6 +25,7 @@ from .autoscaler import (
     Autoscaler,
     ClusterState,
     IdleTimeoutAutoscaler,
+    ProvisioningCircuitBreaker,
     QueueDepthAutoscaler,
     StaticAutoscaler,
     UtilizationAutoscaler,
@@ -54,6 +55,7 @@ __all__ = [
     "QueueDepthAutoscaler",
     "UtilizationAutoscaler",
     "IdleTimeoutAutoscaler",
+    "ProvisioningCircuitBreaker",
     "make_autoscaler",
     "AUTOSCALER_NAMES",
     "CostModel",

@@ -39,6 +39,7 @@ __all__ = [
     "QueueDepthAutoscaler",
     "UtilizationAutoscaler",
     "IdleTimeoutAutoscaler",
+    "ProvisioningCircuitBreaker",
     "make_autoscaler",
     "AUTOSCALER_NAMES",
 ]
@@ -210,6 +211,67 @@ class IdleTimeoutAutoscaler:
         else:
             self._idle_since = None
         return state.nodes
+
+
+class ProvisioningCircuitBreaker:
+    """Hold scale-up after repeated provisioning failures.
+
+    Hammering a provider that keeps failing boots burns billed boot
+    windows for nothing (and, on a real cloud, API quota).  The breaker
+    counts *consecutive* failures; at ``threshold`` it opens and every
+    scale-up request is held for a cool-off that doubles on each
+    consecutive trip (capped at ``max_cooloff``).  Any successful boot
+    closes it and resets the streak.
+
+    The breaker is deterministic state over deterministic inputs — no
+    wall clock, no randomness — so faulted runs stay replayable.
+    """
+
+    def __init__(self, threshold: int = 3, cooloff: float = 120.0,
+                 max_cooloff: float = 1920.0):
+        if threshold < 1:
+            raise CloudError("threshold must be >= 1")
+        if cooloff <= 0 or max_cooloff < cooloff:
+            raise CloudError("need 0 < cooloff <= max_cooloff")
+        self.threshold = int(threshold)
+        self.cooloff = float(cooloff)
+        self.max_cooloff = float(max_cooloff)
+        self.failures = 0
+        self.trips = 0
+        self._consecutive = 0
+        self._open_until: Optional[float] = None
+
+    @property
+    def open_until(self) -> Optional[float]:
+        """When the current hold expires (``None`` = closed)."""
+        return self._open_until
+
+    def allows(self, now: float) -> bool:
+        """Whether a scale-up request may go to the provider at ``now``."""
+        if self._open_until is not None:
+            if now < self._open_until:
+                return False
+            # Half-open: let the next attempt probe the provider.  The
+            # streak is preserved, so one more failure re-trips at once.
+            self._open_until = None
+        return True
+
+    def record_failure(self, now: float) -> bool:
+        """Count a failed boot; returns True when this trips the breaker."""
+        self.failures += 1
+        self._consecutive += 1
+        if self._open_until is None and self._consecutive >= self.threshold:
+            self.trips += 1
+            hold = min(self.max_cooloff,
+                       self.cooloff * (2.0 ** (self.trips - 1)))
+            self._open_until = now + hold
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A node came online: close the breaker, reset the streak."""
+        self._consecutive = 0
+        self._open_until = None
 
 
 AUTOSCALER_NAMES = ("static", "queue", "utilization", "idle")

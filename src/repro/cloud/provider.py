@@ -122,6 +122,7 @@ class Node:
         "released_at",
         "drain_remaining",
         "interrupted",
+        "provision_failed",
     )
 
     def __init__(self, node_id: int, pool: NodePool, requested_at: float):
@@ -136,6 +137,8 @@ class Node:
         #: Slots of this node the scheduler still holds while draining.
         self.drain_remaining = 0
         self.interrupted = False
+        #: The boot attempt failed (injected fault) — never came online.
+        self.provision_failed = False
 
     @property
     def slots(self) -> int:
@@ -165,7 +168,8 @@ class CloudProvider:
         part back).
     """
 
-    def __init__(self, pools: Sequence[NodePool], seed: int = 0):
+    def __init__(self, pools: Sequence[NodePool], seed: int = 0,
+                 faults=None):
         pools = tuple(pools)
         if not pools:
             raise CloudError("CloudProvider needs at least one pool")
@@ -174,6 +178,10 @@ class CloudProvider:
             raise CloudError(f"pool names must be unique, got {names}")
         self.pools: Tuple[NodePool, ...] = pools
         self.seed = int(seed)
+        #: Optional :class:`repro.faults.FaultInjector`.  When ``None``
+        #: (the default) every fault path below is skipped outright, so a
+        #: fault-free provider is byte-identical to the pre-fault one.
+        self.faults = faults
         self.nodes: List[Node] = []
         #: Nodes not yet released (provisioning/ready/draining).  The
         #: per-event capacity views iterate this instead of ``nodes``:
@@ -182,9 +190,18 @@ class CloudProvider:
         #: the views — called on every scheduling event — quadratic.
         self._live: List[Node] = []
         self.interruptions = 0
+        self.crashes = 0
+        self.provision_failures = 0
+        self.provision_timeouts = 0
+        self.provision_retries = 0
+        self.capacity_shortages = 0
         self._engine = None
         self._on_ready: Optional[Callable[[Node], None]] = None
         self._on_interrupt: Optional[Callable[[Node, int], None]] = None
+        self._on_interrupt_notice: Optional[
+            Callable[[Node, float], None]] = None
+        self._on_provision_failed: Optional[
+            Callable[[Node, bool], None]] = None
         self._ids = itertools.count(1)
         self._spot_rng: Dict[str, object] = {
             pool.name: stream(self.seed, f"cloud.spot.{pool.name}")
@@ -201,18 +218,28 @@ class CloudProvider:
         engine,
         on_ready: Optional[Callable[[Node], None]] = None,
         on_interrupt: Optional[Callable[[Node, int], None]] = None,
+        on_interrupt_notice: Optional[Callable[[Node, float], None]] = None,
+        on_provision_failed: Optional[Callable[[Node, bool], None]] = None,
     ) -> None:
         """Attach to the event engine and materialize the initial fleet.
 
         Initial nodes come up ready instantly (they are the cluster the
         experiment starts with) — no ``on_ready`` callback fires for
         them, but initial *spot* nodes do get their interruption draw.
+
+        The two fault callbacks only ever fire when a fault injector is
+        attached: ``on_interrupt_notice(node, notice)`` announces a
+        reclaim ``notice`` seconds before it lands, and
+        ``on_provision_failed(node, will_retry)`` reports a failed boot
+        attempt (``will_retry`` says the provider will try again).
         """
         if self._engine is not None:
             raise CloudError("CloudProvider is already bound to an engine")
         self._engine = engine
         self._on_ready = on_ready
         self._on_interrupt = on_interrupt
+        self._on_interrupt_notice = on_interrupt_notice
+        self._on_provision_failed = on_provision_failed
         for pool in self.pools:
             for _ in range(pool.initial_nodes):
                 node = Node(next(self._ids), pool, engine.now)
@@ -221,6 +248,8 @@ class CloudProvider:
                 self.nodes.append(node)
                 self._live.append(node)
                 self._schedule_interruption(node)
+        if self.faults is not None:
+            self.faults.bind(self, engine)
 
     def _require_engine(self):
         if self._engine is None:
@@ -291,13 +320,60 @@ class CloudProvider:
             >= pool.max_nodes
         ):
             raise ProvisioningError(f"pool {pool.name!r} is at max_nodes")
+        return self._provision(pool, attempt=0)
+
+    def _provision(self, pool: NodePool, attempt: int) -> Node:
+        """One boot attempt; the fault injector decides its fate."""
+        engine = self._engine
         node = Node(next(self._ids), pool, engine.now)
         self.nodes.append(node)
         self._live.append(node)
-        # Never cancelled (cancel_node flips the node's state and the
-        # callback self-guards), so the plain-entry path applies.
-        engine.post(pool.provision_delay, self._node_ready, node)
+        verdict = (
+            self.faults.provision_outcome(pool, engine.now)
+            if self.faults is not None else None
+        )
+        if verdict is None:
+            # Never cancelled (cancel_node flips the node's state and the
+            # callback self-guards), so the plain-entry path applies.
+            engine.post(pool.provision_delay, self._node_ready, node)
+        else:
+            # Doomed attempt: it bills while it burns (requested_at up to
+            # the failure detection), then reports through the failure
+            # callback and — per the retry policy — tries again.
+            kind, delay = verdict
+            engine.post(delay, self._provision_failed, node, attempt, kind)
         return node
+
+    def _provision_failed(self, node: Node, attempt: int,
+                          kind: str) -> None:
+        if node.state != NodeState.PROVISIONING:
+            return  # cancelled while (not) booting
+        node.state = NodeState.RELEASED
+        node.released_at = self._engine.now
+        node.provision_failed = True
+        self._live.remove(node)
+        self.provision_failures += 1
+        if kind == "timeout":
+            self.provision_timeouts += 1
+        elif kind == "shortage":
+            self.capacity_shortages += 1
+        retry = self.faults.retry
+        will_retry = retry is not None and attempt < retry.max_retries
+        if self._on_provision_failed is not None:
+            self._on_provision_failed(node, will_retry)
+        if will_retry:
+            self.provision_retries += 1
+            self._engine.post(
+                self.faults.backoff(attempt),
+                self._retry_provision, node.pool, attempt + 1,
+            )
+
+    def _retry_provision(self, pool: NodePool, attempt: int) -> None:
+        in_flight = self.nodes_in(pool, NodeState.PROVISIONING,
+                                  NodeState.READY)
+        if len(in_flight) >= pool.max_nodes:
+            return  # the fleet recovered by other means; drop the retry
+        self._provision(pool, attempt)
 
     def has_headroom(self) -> bool:
         """Whether any pool can still take a node request."""
@@ -363,6 +439,42 @@ class CloudProvider:
         node.drain_remaining = 0
         node.released_at = self._engine.now + node.pool.teardown_delay
         self._live.remove(node)
+
+    # ------------------------------------------------------------------
+    # Injected faults (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+
+    def fault_victim(self, pool_name: Optional[str] = None) -> Optional[Node]:
+        """Deterministic target for a point fault: the oldest READY node
+        (falling back to DRAINING), optionally restricted to one pool."""
+        for state in (NodeState.READY, NodeState.DRAINING):
+            for pool in self.pools:
+                if pool_name is not None and pool.name != pool_name:
+                    continue
+                candidates = self.nodes_in(pool, state)
+                if candidates:
+                    return candidates[0]
+        return None
+
+    def crash_node(self, node: Node) -> None:
+        """Kill a node outright — no notice, running work is lost."""
+        if node.state not in (NodeState.READY, NodeState.DRAINING):
+            return
+        self.crashes += 1
+        self._interrupt(node)
+
+    def interrupt_with_notice(self, node: Node, notice: float) -> None:
+        """Announce a reclaim ``notice`` seconds ahead (the spot-market
+        "two-minute warning"), then take the node."""
+        if node.state not in (NodeState.READY, NodeState.DRAINING):
+            return
+        if notice <= 0.0:
+            self._interrupt(node)
+            return
+        if self._on_interrupt_notice is not None:
+            self._on_interrupt_notice(node, float(notice))
+        # The reclaim self-guards, so a node released meanwhile no-ops.
+        self._engine.post(notice, self._interrupt, node)
 
     # ------------------------------------------------------------------
     # Spot interruptions

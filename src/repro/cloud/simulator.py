@@ -24,14 +24,29 @@ Event flow
   its last slot is reclaimed.
 * Spot interruptions (``cloud.node.interrupt`` events) force capacity
   out immediately: running jobs are shrunk ignoring the rescale gap and,
-  if need be, evicted back to the queue (losing their progress — there
-  is no checkpoint on a reclaimed node).
+  if need be, evicted back to the queue (losing their progress — unless
+  a checkpoint store is attached and a notice window let the job
+  checkpoint first).
 * Every node's lifetime is billed; the result carries a
   :class:`~repro.cloud.billing.CostReport` next to the usual metrics.
 
+Fault injection and recovery
+----------------------------
+When the provider carries a :class:`~repro.faults.FaultInjector`, the
+simulator grows the recovery semantics around it: reclaim *notices*
+checkpoint the jobs a forced shrink would evict (through the
+``checkpoints`` store, when the write fits inside the notice window),
+restarted jobs resume from their checkpoint instead of step zero, a
+:class:`~repro.cloud.autoscaler.ProvisioningCircuitBreaker` holds
+scale-up after repeated boot failures, and the run's
+:class:`~repro.faults.FaultReport` accounts goodput versus throughput.
+Every fault hook is ``None``-guarded: without an injector or a store the
+decision sequence is byte-identical to the fault-free simulator (the
+golden suite pins this).
+
 A :class:`~repro.sim.trace.Tracer` may be attached to observe the
 capacity-change and interruption events (categories ``cloud.node.*``,
-``cloud.capacity``, ``cloud.autoscale``).
+``cloud.capacity``, ``cloud.autoscale``, ``fault.*``).
 """
 
 from __future__ import annotations
@@ -40,14 +55,24 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from ..errors import CloudError
+from ..faults.recovery import FaultReport, FaultStats
 from ..scheduling import PolicyConfig, ReplicaTimeline
 from ..scheduling.elastic import ElasticPolicyEngine
-from ..schedsim.simulator import ScheduleSimulator, SimulationResult
+from ..schedsim.simulator import (
+    DISK_BANDWIDTH,
+    ScheduleSimulator,
+    SimulationResult,
+)
 from ..schedsim.workload import Submission
 from ..sim import Engine
 from ..sim.trace import Tracer
 from ..units import format_duration
-from .autoscaler import Autoscaler, ClusterState, StaticAutoscaler
+from .autoscaler import (
+    Autoscaler,
+    ClusterState,
+    ProvisioningCircuitBreaker,
+    StaticAutoscaler,
+)
 from .billing import BillingMeter, CostModel, CostReport
 from .provider import CloudProvider, Node, NodeState
 
@@ -63,6 +88,9 @@ class CloudSimulationResult:
     #: Step function of schedulable slots over time (capacity breathing).
     capacity: ReplicaTimeline
     autoscaler: str
+    #: Goodput/recovery accounting; ``None`` unless the run was faulted
+    #: (a fault injector on the provider) or checkpoint-enabled.
+    faults: Optional[FaultReport] = None
 
     @property
     def metrics(self):
@@ -87,7 +115,15 @@ class CloudSimulationResult:
             f"resp={m.weighted_mean_response:.2f}s "
             f"compl={m.weighted_mean_completion:.2f}s"
         )
-        return f"{line}\n{' ' * 15}{self.cost.describe()}"
+        described = f"{line}\n{' ' * 15}{self.cost.describe()}"
+        if self.faults is not None:
+            described += (
+                f"\n{' ' * 15}"
+                f"goodput={self.faults.goodput_fraction * 100:.2f}% "
+                f"lost={self.faults.lost_slot_seconds:,.0f} slot-s "
+                f"recovered={self.faults.recovered_slot_seconds:,.0f} slot-s"
+            )
+        return described
 
 
 class CloudScheduleSimulator(ScheduleSimulator):
@@ -104,6 +140,8 @@ class CloudScheduleSimulator(ScheduleSimulator):
         policy_engine_cls: type = ElasticPolicyEngine,
         tick: float = 60.0,
         tracer: Optional[Tracer] = None,
+        checkpoints=None,
+        breaker: Optional[ProvisioningCircuitBreaker] = None,
     ):
         if tick <= 0:
             raise CloudError("autoscaler tick must be positive")
@@ -112,6 +150,8 @@ class CloudScheduleSimulator(ScheduleSimulator):
             engine,
             on_ready=self._on_node_ready,
             on_interrupt=self._on_node_interrupted,
+            on_interrupt_notice=self._on_interrupt_notice,
+            on_provision_failed=self._on_provision_failed,
         )
         initial = provider.ready_slots
         if initial < 1:
@@ -154,6 +194,25 @@ class CloudScheduleSimulator(ScheduleSimulator):
             self._obs_provision = None
             self._obs_reclaim = None
             self._obs_interruptions = None
+        #: A :class:`~repro.charm.faulttolerance.DiskCheckpointStore` (or
+        #: ``None``): with a store attached, reclaim notices checkpoint
+        #: the jobs at risk and restarts resume from the checkpoint.
+        self._ckpt = checkpoints
+        if breaker is None and provider.faults is not None:
+            breaker = ProvisioningCircuitBreaker()
+        self._breaker = breaker
+        self._breaker_wake_at = None
+        self.fault_stats = FaultStats()
+        #: Jobs evicted and not yet restarted — distinguishes a restart
+        #: (scratch or checkpoint) from a first start in ``_start``.
+        self._evicted_pending: set = set()
+        if provider.faults is not None:
+            # Wake when degraded-provisioning windows end: a queue that
+            # stalled behind a capacity shortage must re-provision as
+            # soon as capacity returns, even if the tick clock wound
+            # down waiting.
+            for closing in provider.faults.window_closings():
+                engine.post_at(closing, self._fault_window_closed)
         #: When the next autoscaler evaluation is due (None = disarmed).
         #: Scheduling events postpone this deadline instead of cancelling
         #: and re-pushing the tick timer on every submit/finish; the armed
@@ -201,7 +260,35 @@ class CloudScheduleSimulator(ScheduleSimulator):
             cost=cost,
             capacity=self.capacity_timeline,
             autoscaler=self.autoscaler.name,
+            faults=self._fault_report(busy),
         )
+
+    def _fault_report(self, busy_slot_seconds: float):
+        provider = self.provider
+        if provider.faults is None and self._ckpt is None:
+            return None
+        stats = self.fault_stats
+        stats.crashes = provider.crashes
+        stats.provision_failures = provider.provision_failures
+        stats.provision_timeouts = provider.provision_timeouts
+        stats.provision_retries = provider.provision_retries
+        stats.capacity_shortages = provider.capacity_shortages
+        if self._breaker is not None:
+            stats.breaker_trips = self._breaker.trips
+        report = FaultReport.build(
+            stats, busy_slot_seconds, provider.interruptions
+        )
+        if self._obs is not None:
+            self._obs.gauge("faults.goodput_fraction").set(
+                report.goodput_fraction
+            )
+            self._obs.gauge("faults.lost_slot_seconds").set(
+                report.lost_slot_seconds
+            )
+            self._obs.gauge("faults.recovered_slot_seconds").set(
+                report.recovered_slot_seconds
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Scheduling-event hooks
@@ -215,6 +302,8 @@ class CloudScheduleSimulator(ScheduleSimulator):
     def _on_finish(self, name: str) -> None:
         self._last_completion = self.engine.now
         self._interruptions_in_window = self.provider.interruptions
+        if self._ckpt is not None:
+            self._ckpt.drop(name)
         super()._on_finish(name)
         self._push_drains()
         if self._workload_done():
@@ -229,10 +318,80 @@ class CloudScheduleSimulator(ScheduleSimulator):
         )
 
     # ------------------------------------------------------------------
+    # Decision handlers with recovery semantics
+    # ------------------------------------------------------------------
+
+    def _start(self, decision) -> None:
+        """Start a job — resuming from its checkpoint when one exists.
+
+        The restore pays the checkpoint's read back from disk
+        (``io_seconds``) before stepping resumes; only then is the
+        banked progress subtracted from the work remaining.
+        """
+        super()._start(decision)
+        name = decision.job.name
+        restarted = name in self._evicted_pending
+        if restarted:
+            self._evicted_pending.discard(name)
+        store = self._ckpt
+        if store is not None and store.has(name):
+            checkpoint = store.read(name)
+            job = self._running[name]
+            resumed = min(float(checkpoint.completed_steps), job.total_steps)
+            if resumed > 0.0:
+                job.remaining_steps = job.total_steps - resumed
+                job.progress_start += checkpoint.io_seconds
+                self._schedule_finish(job, self.engine.now)
+                self.fault_stats.restarts_from_checkpoint += 1
+                self._trace("fault.restart", "restarted from checkpoint",
+                            job=name, steps=resumed)
+                if self._obs is not None:
+                    self._obs.counter(
+                        "faults.restarts_from_checkpoint").inc()
+                return
+        if restarted:
+            self.fault_stats.restarts_from_scratch += 1
+            self._trace("fault.restart", "restarted from scratch",
+                        job=name)
+            if self._obs is not None:
+                self._obs.counter("faults.restarts_from_scratch").inc()
+
+    def _evict(self, decision) -> None:
+        """Account the work an eviction destroys (or a checkpoint saves).
+
+        ``lost`` is progress beyond the last checkpoint — it will be
+        redone, so it counts against goodput; ``recovered`` is banked
+        progress an uncheckpointed eviction would also have destroyed.
+        """
+        name = decision.job.name
+        job = self._running.get(name)
+        if job is not None:
+            now = self.engine.now
+            done = (
+                job.total_steps - job.remaining_steps
+                + min(job.steps_done_by(now), job.remaining_steps)
+            )
+            banked = 0.0
+            store = self._ckpt
+            if store is not None:
+                checkpoint = store.peek(name)
+                if checkpoint is not None:
+                    banked = min(float(checkpoint.completed_steps), done)
+            slot_seconds_per_step = job.current_step_time() * job.replicas
+            stats = self.fault_stats
+            stats.evictions += 1
+            stats.lost_slot_seconds += (done - banked) * slot_seconds_per_step
+            stats.recovered_slot_seconds += banked * slot_seconds_per_step
+            self._evicted_pending.add(name)
+        super()._evict(decision)
+
+    # ------------------------------------------------------------------
     # Capacity events
     # ------------------------------------------------------------------
 
     def _on_node_ready(self, node: Node) -> None:
+        if self._breaker is not None:
+            self._breaker.record_success()
         if self._workload_done():
             # Too late to matter: hand it straight back (billing covers
             # the boot window — scale-up that misses the workload is a
@@ -268,6 +427,107 @@ class CloudScheduleSimulator(ScheduleSimulator):
             self._record_capacity()
         if not self._workload_done():
             self._autoscale()
+
+    # ------------------------------------------------------------------
+    # Fault events (only ever fired by an attached FaultInjector)
+    # ------------------------------------------------------------------
+
+    def _on_interrupt_notice(self, node: Node, notice: float) -> None:
+        """A reclaim lands in ``notice`` seconds: checkpoint what we can.
+
+        The candidates are the jobs a forced shrink of the node's slots
+        would evict (a conservative superset — checkpointing a job that
+        ends up merely shrunk costs nothing but the modeled write).  A
+        job checkpoints only if its write — ``data_bytes`` over the
+        shared-filesystem bandwidth — fits inside the window; otherwise
+        the miss is counted and the eviction will lose all progress.
+        """
+        self.fault_stats.notices += 1
+        self._trace("fault.notice",
+                    f"reclaim notice for {node.pool.name} node",
+                    node=node.id, notice=notice)
+        if self._obs is not None:
+            self._obs.counter("faults.notices").inc()
+        store = self._ckpt
+        if store is None:
+            return
+        preview = getattr(self.policy, "eviction_candidates", None)
+        at_risk = (
+            node.drain_remaining
+            if node.state == NodeState.DRAINING else node.slots
+        )
+        if preview is None or at_risk <= 0:
+            return
+        now = self.engine.now
+        for candidate in preview(at_risk):
+            running = self._running.get(candidate.name)
+            if running is None:
+                continue
+            io_seconds = running.data_bytes / DISK_BANDWIDTH
+            if io_seconds > notice:
+                self.fault_stats.checkpoints_missed += 1
+                self._trace("fault.checkpoint",
+                            "notice window too short; checkpoint skipped",
+                            job=running.name, io_seconds=io_seconds)
+                if self._obs is not None:
+                    self._obs.counter("faults.checkpoints_missed").inc()
+                continue
+            done = (
+                running.total_steps - running.remaining_steps
+                + min(running.steps_done_by(now), running.remaining_steps)
+            )
+            store.write_state(running.name, int(done), running.data_bytes,
+                              now)
+            self.fault_stats.checkpoints_written += 1
+            self._trace("fault.checkpoint",
+                        "checkpointed inside the notice window",
+                        job=running.name, steps=int(done),
+                        io_seconds=io_seconds)
+            if self._obs is not None:
+                self._obs.counter("faults.checkpoints_written").inc()
+
+    def _on_provision_failed(self, node: Node, will_retry: bool) -> None:
+        self._trace("fault.provision",
+                    f"{node.pool.name} boot attempt failed",
+                    node=node.id, will_retry=will_retry)
+        if self._obs is not None:
+            self._obs.counter("faults.provision_failures").inc()
+        breaker = self._breaker
+        if breaker is not None and breaker.record_failure(self.engine.now):
+            self._trace("fault.breaker", "circuit breaker opened",
+                        until=breaker.open_until)
+            if self._obs is not None:
+                self._obs.counter("faults.breaker_trips").inc()
+            self._arm_breaker_wake()
+        if not will_retry and not self._workload_done():
+            # The provider gave up on this boot chain; the autoscaler
+            # decides whether to ask again (the breaker may hold it).
+            self._autoscale()
+
+    def _fault_window_closed(self) -> None:
+        self._fault_poke()
+
+    def _arm_breaker_wake(self) -> None:
+        """Re-evaluate when the hold expires, even if the ticks wound down."""
+        breaker = self._breaker
+        at = breaker.open_until if breaker is not None else None
+        if at is None or self._breaker_wake_at == at:
+            return
+        self._breaker_wake_at = at
+        self.engine.post_at(at, self._breaker_wake, at)
+
+    def _breaker_wake(self, at: float) -> None:
+        if at != self._breaker_wake_at:
+            return  # superseded by a later trip
+        self._breaker_wake_at = None
+        self._fault_poke()
+
+    def _fault_poke(self) -> None:
+        """Deterministic re-evaluation after a fault condition clears."""
+        if self._workload_done():
+            return
+        self._push_drains()
+        self._autoscale()
 
     # ------------------------------------------------------------------
     # Autoscaling
@@ -320,14 +580,22 @@ class CloudScheduleSimulator(ScheduleSimulator):
             self._obs.counter("cloud.autoscale." + verdict).inc()
         acted = False
         if target > current:
-            for _ in range(target - current):
-                if not self.provider.has_headroom():
-                    break
-                node = self.provider.request_node()
-                acted = True
-                self._trace("cloud.autoscale",
-                            f"requested {node.pool.name} node",
-                            node=node.id, target=target)
+            if self._breaker is not None and not self._breaker.allows(
+                self.engine.now
+            ):
+                self._trace("fault.breaker",
+                            "scale-up held by the circuit breaker",
+                            until=self._breaker.open_until)
+                self._arm_breaker_wake()
+            else:
+                for _ in range(target - current):
+                    if not self.provider.has_headroom():
+                        break
+                    node = self.provider.request_node()
+                    acted = True
+                    self._trace("cloud.autoscale",
+                                f"requested {node.pool.name} node",
+                                node=node.id, target=target)
         elif target < current:
             acted = self._scale_in(current - target)
         self._reschedule_tick(state, acted)

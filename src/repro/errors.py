@@ -123,6 +123,19 @@ class ProvisioningError(CloudError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class FaultError(ReproError):
+    """Base class for fault-injection errors."""
+
+
+class FaultPlanError(FaultError):
+    """A fault plan is malformed, inconsistent, or not (de)serializable."""
+
+
+# ---------------------------------------------------------------------------
 # Performance modelling
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and recovery (`repro.faults`).
+
+The fault stack has three layers:
+
+* :mod:`~repro.faults.plan` — serializable fault plans: seeded
+  synthesis plus explicit timeline entries for node crashes, spot
+  interruptions with a notice window, provisioning failures/timeouts,
+  and capacity shortages.
+* :mod:`~repro.faults.injector` — binds a plan to a
+  :class:`~repro.cloud.provider.CloudProvider` + engine pair and fires
+  it; also owns the retry/backoff RNG stream.
+* :mod:`~repro.faults.recovery` — retry policy, fault statistics, and
+  the goodput-vs-throughput :class:`FaultReport`.
+
+End-to-end wiring (chaos runs, decision digests) lives in
+:mod:`~repro.faults.runner`, which is imported lazily by consumers:
+``runner`` imports :mod:`repro.cloud`, and ``cloud.simulator`` imports
+this package's recovery types, so an eager import here would cycle.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultLoad,
+    FaultPlan,
+    reference_chaos_plan,
+)
+from .recovery import FaultReport, FaultStats, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLoad",
+    "FaultPlan",
+    "FaultReport",
+    "FaultStats",
+    "RetryPolicy",
+    "reference_chaos_plan",
+]

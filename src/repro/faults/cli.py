@@ -1,0 +1,137 @@
+"""`repro faults` verbs: plan synthesis, plan replay, and chaos runs.
+
+All output is derived from virtual time and seeded RNG streams — no
+wall-clock values — so two invocations with the same arguments print
+byte-identical text.  CI's chaos smoke job runs ``repro faults chaos``
+twice and diffs the output; keep it that way.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .plan import FaultLoad, FaultPlan, reference_chaos_plan
+from .recovery import RetryPolicy
+
+__all__ = ["main_faults"]
+
+
+def _print_plan(plan: FaultPlan) -> None:
+    print(f"# fault plan: seed={plan.seed} horizon={plan.horizon:.0f}s "
+          f"entries={len(plan.entries)}")
+    print(f"{'t':>9} {'kind':>18} {'pool':>8} {'notice':>7} "
+          f"{'duration':>9} {'count':>6}")
+    for entry in plan.entries:
+        print(
+            f"{entry.time:>9.1f} {entry.kind:>18} "
+            f"{entry.pool or '-':>8} {entry.notice:>7.1f} "
+            f"{entry.duration:>9.1f} "
+            f"{entry.count if entry.count is not None else '-':>6}"
+        )
+
+
+def _report_run(label: str, run) -> None:
+    report = run.faults
+    print(f"## {label}")
+    print(f"decision digest: {run.digest}")
+    print(f"decisions: {len(run.decisions)}  "
+          f"makespan: {run.result.makespan:.1f}s")
+    if report is not None:
+        print(report.describe())
+
+
+def _retry_policy(args) -> RetryPolicy:
+    return RetryPolicy(max_retries=args.max_retries,
+                       base_delay=args.retry_base_delay)
+
+
+def _cmd_plan(args) -> int:
+    load = FaultLoad(
+        crashes=args.crashes,
+        interruptions=args.interruptions,
+        notice=args.notice,
+        fail_windows=args.fail_windows,
+        timeout_windows=args.timeout_windows,
+        shortage_windows=args.shortage_windows,
+        window_duration=args.window_duration,
+        pool=args.pool,
+    )
+    plan = FaultPlan.synthesize(args.seed, args.horizon, load)
+    if args.output:
+        plan.save(args.output)
+        print(f"wrote {args.output} ({len(plan.entries)} entries)")
+    _print_plan(plan)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from .runner import run_fault_scenario
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = reference_chaos_plan(seed=args.seed)
+    _print_plan(plan)
+    print()
+    run = run_fault_scenario(
+        policy_name=args.policy,
+        autoscaler_name=args.autoscaler,
+        plan=plan,
+        seed=args.seed,
+        num_jobs=args.jobs,
+        submission_gap=args.gap,
+        rescale_gap=args.rescale_gap,
+        checkpoints=not args.no_checkpoints,
+        retry=_retry_policy(args),
+    )
+    label = ("replay (checkpoints off)" if args.no_checkpoints
+             else "replay (checkpoints on)")
+    _report_run(label, run)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .runner import run_fault_scenario
+
+    plan = reference_chaos_plan(seed=args.seed)
+    print(f"# chaos: reference plan, seed={args.seed}, {args.jobs} jobs "
+          f"@ {args.gap:.0f}s")
+    _print_plan(plan)
+    print()
+    runs = {}
+    for label, checkpoints in (("checkpoints on", True),
+                               ("checkpoints off", False)):
+        runs[label] = run_fault_scenario(
+            policy_name=args.policy,
+            autoscaler_name=args.autoscaler,
+            plan=plan,
+            seed=args.seed,
+            num_jobs=args.jobs,
+            submission_gap=args.gap,
+            rescale_gap=args.rescale_gap,
+            checkpoints=checkpoints,
+            retry=_retry_policy(args),
+        )
+        _report_run(label, runs[label])
+        print()
+    on = runs["checkpoints on"].faults
+    off = runs["checkpoints off"].faults
+    delta = on.goodput_slot_seconds - off.goodput_slot_seconds
+    print("## recovery delta (on - off)")
+    print(f"goodput delta: {delta:+.1f} slot-seconds")
+    print(f"goodput fraction: {on.goodput_fraction:.4f} (on) vs "
+          f"{off.goodput_fraction:.4f} (off)")
+    print(f"recovered slot-seconds: {on.recovered_slot_seconds:.1f} (on) vs "
+          f"{off.recovered_slot_seconds:.1f} (off)")
+    return 0
+
+
+def main_faults(args) -> int:
+    if args.action == "plan":
+        return _cmd_plan(args)
+    if args.action == "replay":
+        return _cmd_replay(args)
+    if args.action == "chaos":
+        return _cmd_chaos(args)
+    print(f"error: unknown faults action {args.action!r}", file=sys.stderr)
+    return 2

@@ -1,0 +1,153 @@
+"""Recovery policy and lost/recovered-work accounting.
+
+The quantities this module tracks are the paper-adjacent ones the
+reproduction could not previously measure: *throughput* (busy
+slot-seconds, what the cluster executed) versus *goodput* (busy
+slot-seconds that contributed to a completed job — work redone after a
+crash or a missed checkpoint window counts against it), plus the retry
+and checkpoint counters that explain the gap between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from ..errors import FaultPlanError
+
+__all__ = ["RetryPolicy", "FaultStats", "FaultReport"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``backoff(attempt, rng)`` returns ``min(max_delay, base_delay *
+    2**attempt)`` stretched by up to ``jitter`` (a uniform draw from the
+    injector's ``faults.retry`` stream, so reruns reproduce the exact
+    retry timeline).  ``max_retries=0`` disables retrying.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 30.0
+    max_delay: float = 480.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultPlanError("max_retries must be >= 0")
+        if self.base_delay <= 0.0 or self.max_delay <= 0.0:
+            raise FaultPlanError("backoff delays must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultPlanError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        delay = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+
+@dataclass
+class FaultStats:
+    """Mutable counters accumulated while a faulted simulation runs."""
+
+    crashes: int = 0
+    notices: int = 0
+    evictions: int = 0
+    checkpoints_written: int = 0
+    checkpoints_missed: int = 0
+    restarts_from_checkpoint: int = 0
+    restarts_from_scratch: int = 0
+    provision_failures: int = 0
+    provision_timeouts: int = 0
+    provision_retries: int = 0
+    capacity_shortages: int = 0
+    breaker_trips: int = 0
+    lost_slot_seconds: float = 0.0
+    recovered_slot_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What failure cost a run, and what recovery clawed back.
+
+    ``throughput_slot_seconds`` is everything the cluster executed;
+    ``goodput_slot_seconds`` subtracts work that had to be redone
+    (``lost_slot_seconds``).  ``recovered_slot_seconds`` is progress an
+    eviction would have destroyed but a checkpoint preserved — the
+    direct value of the notice-window checkpointing path.
+    """
+
+    throughput_slot_seconds: float
+    goodput_slot_seconds: float
+    goodput_fraction: float
+    lost_slot_seconds: float
+    recovered_slot_seconds: float
+    crashes: int
+    interruptions: int
+    notices: int
+    evictions: int
+    checkpoints_written: int
+    checkpoints_missed: int
+    restarts_from_checkpoint: int
+    restarts_from_scratch: int
+    provision_failures: int
+    provision_timeouts: int
+    provision_retries: int
+    capacity_shortages: int
+    breaker_trips: int
+
+    @classmethod
+    def build(cls, stats: FaultStats, busy_slot_seconds: float,
+              interruptions: int) -> "FaultReport":
+        lost = min(stats.lost_slot_seconds, busy_slot_seconds)
+        goodput = max(0.0, busy_slot_seconds - lost)
+        fraction = goodput / busy_slot_seconds if busy_slot_seconds else 1.0
+        return cls(
+            throughput_slot_seconds=busy_slot_seconds,
+            goodput_slot_seconds=goodput,
+            goodput_fraction=fraction,
+            lost_slot_seconds=lost,
+            recovered_slot_seconds=stats.recovered_slot_seconds,
+            crashes=stats.crashes,
+            interruptions=interruptions,
+            notices=stats.notices,
+            evictions=stats.evictions,
+            checkpoints_written=stats.checkpoints_written,
+            checkpoints_missed=stats.checkpoints_missed,
+            restarts_from_checkpoint=stats.restarts_from_checkpoint,
+            restarts_from_scratch=stats.restarts_from_scratch,
+            provision_failures=stats.provision_failures,
+            provision_timeouts=stats.provision_timeouts,
+            provision_retries=stats.provision_retries,
+            capacity_shortages=stats.capacity_shortages,
+            breaker_trips=stats.breaker_trips,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def describe(self) -> str:
+        lines = [
+            "fault report:",
+            f"  goodput            "
+            f"{self.goodput_slot_seconds:,.0f} / "
+            f"{self.throughput_slot_seconds:,.0f} slot-s "
+            f"({self.goodput_fraction:.1%})",
+            f"  lost / recovered   {self.lost_slot_seconds:,.0f} / "
+            f"{self.recovered_slot_seconds:,.0f} slot-s",
+            f"  interruptions      {self.interruptions} "
+            f"({self.notices} noticed, {self.crashes} crashes)",
+            f"  evictions          {self.evictions} "
+            f"({self.restarts_from_checkpoint} restarted from checkpoint, "
+            f"{self.restarts_from_scratch} from scratch)",
+            f"  checkpoints        {self.checkpoints_written} written, "
+            f"{self.checkpoints_missed} missed the window",
+            f"  provisioning       {self.provision_failures} failures "
+            f"({self.provision_timeouts} timeouts), "
+            f"{self.provision_retries} retries, "
+            f"{self.capacity_shortages} shortages, "
+            f"{self.breaker_trips} breaker trips",
+        ]
+        return "\n".join(lines)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import html
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -74,7 +75,13 @@ class Series:
 
 
 def collect_documents(root: str) -> List[BenchDocument]:
-    """Every parseable benchmark document under ``root``, oldest first."""
+    """Every parseable benchmark document under ``root``, oldest first.
+
+    A nightly-history directory accumulates artifacts from interrupted
+    runs — truncated JSON, half-written files, stray non-bench JSON.
+    Corrupt documents are *warned about and skipped* (never fatal): one
+    bad artifact must not take down the whole trend page.
+    """
     found: List[BenchDocument] = []
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames.sort()
@@ -85,12 +92,27 @@ def collect_documents(root: str) -> List[BenchDocument]:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     document = json.load(handle)
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                warnings.warn(
+                    f"skipping bench artifact {path}: {exc}",
+                    RuntimeWarning, stacklevel=2,
+                )
                 continue
             if not isinstance(document, dict) or "benchmark" not in document:
+                # Not a bench document at all (other tooling's JSON
+                # living in the same tree) — quietly irrelevant.
                 continue
             manifest = document.get("manifest") or {}
+            if not isinstance(manifest, dict):
+                warnings.warn(
+                    f"skipping bench artifact {path}: manifest is "
+                    f"{type(manifest).__name__}, expected an object",
+                    RuntimeWarning, stacklevel=2,
+                )
+                continue
             timestamp = manifest.get("created_utc", "")
+            if not isinstance(timestamp, str):
+                timestamp = ""  # a garbage timestamp must not break sort
             if not timestamp:
                 try:
                     from datetime import datetime, timezone
@@ -110,8 +132,24 @@ def collect_documents(root: str) -> List[BenchDocument]:
     return found
 
 
+def _numeric(value: object) -> Optional[float]:
+    """``value`` as a float, or ``None`` for anything non-numeric.
+
+    Bools are rejected explicitly (they are ints to ``isinstance`` but a
+    ``"normalized": true`` in a mangled artifact is garbage, not a 1.0).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
 def build_series(documents: Sequence[BenchDocument]) -> List[Series]:
-    """Fold the discovered documents into per-metric trend series."""
+    """Fold the discovered documents into per-metric trend series.
+
+    Row values that are not plain numbers (a truncated write, a hand-
+    edited artifact) are skipped per-point: the series keeps its other
+    runs rather than the page crashing.
+    """
     table: Dict[Tuple[str, str, str], Series] = {}
 
     def series(key: Tuple[str, str, str], title: str, unit: str) -> Series:
@@ -119,6 +157,17 @@ def build_series(documents: Sequence[BenchDocument]) -> List[Series]:
         if entry is None:
             entry = table[key] = Series(title=title, unit=unit)
         return entry
+
+    def add(key: Tuple[str, str, str], title: str, unit: str,
+            label: str, raw: object) -> None:
+        value = _numeric(raw)
+        if value is None:
+            warnings.warn(
+                f"skipping non-numeric {key[2]} value {raw!r} in "
+                f"{key[0]}/{key[1]}", RuntimeWarning, stacklevel=3,
+            )
+            return
+        series(key, title, unit).add(label, value)
 
     for doc in documents:
         suite = doc.suite
@@ -130,19 +179,19 @@ def build_series(documents: Sequence[BenchDocument]) -> List[Series]:
                 continue
             if suite == "sweep":
                 if "hit_rate" in row and not row.get("informational"):
-                    series((suite, row_key, "hit_rate"),
-                           f"{row_key} cache hit rate", "hit rate").add(
+                    add((suite, row_key, "hit_rate"),
+                        f"{row_key} cache hit rate", "hit rate",
                         doc.label, row["hit_rate"])
                 continue
             if row_key.startswith("reference_"):
                 continue
             if "normalized" in row:
-                series((suite, row_key, "normalized"),
-                       f"{row_key} throughput", "normalized ev/s").add(
+                add((suite, row_key, "normalized"),
+                    f"{row_key} throughput", "normalized ev/s",
                     doc.label, row["normalized"])
             if "cost_per_job" in row:
-                series((suite, row_key, "cost_per_job"),
-                       f"{row_key} cost", "$/job").add(
+                add((suite, row_key, "cost_per_job"),
+                    f"{row_key} cost", "$/job",
                     doc.label, row["cost_per_job"])
     return [table[key] for key in sorted(table)]
 

@@ -204,8 +204,13 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, object]:
-        """Every instrument's current value, flattened to one dict."""
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """Every instrument's current value, flattened to one dict.
+
+        ``prefix`` keeps only dotted names starting with it — e.g.
+        ``snapshot("faults.")`` isolates the fault-injection counters
+        for a report without copying the whole registry.
+        """
         out: Dict[str, object] = {}
         for name, counter in self._counters.items():
             out[name] = counter.value
@@ -213,6 +218,8 @@ class MetricsRegistry:
             out[name] = gauge.value
         for name, hist in self._histograms.items():
             out[name] = hist.as_dict()
+        if prefix is not None:
+            out = {k: v for k, v in out.items() if k.startswith(prefix)}
         return out
 
     def format_lines(self) -> list:

@@ -48,45 +48,58 @@ __all__ = ["TrialCache", "code_salt", "resolve_trial_cache", "CACHE_ENV"]
 CACHE_ENV = "REPRO_SWEEP_CACHE"
 
 #: Subpackages whose source participates in the code-version salt — the
-#: transitive implementation of one simulated trial.
+#: transitive implementation of one simulated trial.  ``faults`` and
+#: ``charm`` joined when the cloud simulator grew fault injection and
+#: checkpoint recovery: a fault-plan or checkpoint-store edit changes
+#: faulted cloud trials, so it must invalidate their cached results.
 _SALTED_TREES = ("scheduling", "schedsim", "sim", "perfmodel", "workloads",
-                 "cloud")
+                 "cloud", "faults", "charm")
 _SALTED_FILES = ("units.py", "errors.py")
 
 _code_salt: Optional[str] = None
 
 
-def code_salt() -> str:
+def _compute_salt(package_root: str) -> str:
+    digest = hashlib.sha256()
+    paths = [os.path.join(package_root, name) for name in _SALTED_FILES]
+    for tree in _SALTED_TREES:
+        for dirpath, dirnames, filenames in os.walk(
+            os.path.join(package_root, tree)
+        ):
+            dirnames.sort()
+            paths.extend(
+                os.path.join(dirpath, f) for f in filenames if f.endswith(".py")
+            )
+    for path in sorted(paths):
+        try:
+            with open(path, "rb") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        digest.update(os.path.relpath(path, package_root).encode())
+        digest.update(b"\0")
+        digest.update(source)
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def code_salt(package_root: Optional[str] = None) -> str:
     """SHA-256 of every source file that can change a trial's result.
 
-    Computed once per process; a one-character edit anywhere in the
-    simulator stack yields a different salt, so every previously cached
-    trial silently misses instead of serving stale metrics.
+    Computed once per process (for the installed tree); a one-character
+    edit anywhere in the simulator stack yields a different salt, so
+    every previously cached trial silently misses instead of serving
+    stale metrics.  ``package_root`` points the walk at an alternate
+    copy of the ``repro`` package — uncached, for tests that prove an
+    edit really does move the salt.
     """
     global _code_salt
+    if package_root is not None:
+        return _compute_salt(package_root)
     if _code_salt is None:
-        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        digest = hashlib.sha256()
-        paths = [os.path.join(package_root, name) for name in _SALTED_FILES]
-        for tree in _SALTED_TREES:
-            for dirpath, dirnames, filenames in os.walk(
-                os.path.join(package_root, tree)
-            ):
-                dirnames.sort()
-                paths.extend(
-                    os.path.join(dirpath, f) for f in filenames if f.endswith(".py")
-                )
-        for path in sorted(paths):
-            try:
-                with open(path, "rb") as handle:
-                    source = handle.read()
-            except OSError:
-                continue
-            digest.update(os.path.relpath(path, package_root).encode())
-            digest.update(b"\0")
-            digest.update(source)
-            digest.update(b"\0")
-        _code_salt = digest.hexdigest()
+        _code_salt = _compute_salt(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
     return _code_salt
 
 

@@ -859,6 +859,31 @@ class ElasticPolicyEngine:
         self.total_slots -= removed
         return removed, self._log(decisions)
 
+    def eviction_candidates(self, slots: int) -> List[SchedulerJob]:
+        """Running jobs a forced shrink of ``slots`` *might* requeue.
+
+        A pure preview for the fault-recovery path: when a reclaim
+        notice arrives, the substrate checkpoints the jobs that the
+        eventual ``shrink_capacity(..., force=True)`` could evict.  The
+        preview is a conservative superset — it ignores the relief the
+        shrink-victim walk would provide, walking the running list in
+        eviction order (lowest priority first) until the accumulated
+        replicas cover the deficit — because checkpointing a job that
+        ends up surviving costs only the modeled write, while missing
+        one that dies loses all its progress.  No engine state changes.
+        """
+        deficit = int(slots) - self.free_slots
+        candidates: List[SchedulerJob] = []
+        if deficit <= 0:
+            return candidates
+        covered = 0
+        for job in reversed(self.running):
+            if covered >= deficit:
+                break
+            candidates.append(job)
+            covered += job.replicas
+        return candidates
+
     def rebalance(self, now: float) -> List[Decision]:
         """Redistribute the current free pool (Figure 3, budget-only).
 

@@ -276,6 +276,47 @@ class TestSpotInterruption:
         assert result.metrics.job_count == 12
 
 
+class TestZeroFaultEquivalence:
+    """The fault stack must be invisible until a plan injects something:
+    an empty plan plus an attached checkpoint store may not perturb a
+    single decision relative to a provider with no fault stack at all."""
+
+    def run_fleet(self, spot, faulted):
+        from repro.charm.faulttolerance import DiskCheckpointStore
+        from repro.faults import FaultInjector, FaultPlan
+
+        scenario = CloudScenario(
+            initial_nodes=2, min_nodes=1, max_nodes=4,
+            provision_delay=60.0,
+            spot_nodes=3 if spot else 0,
+            spot_mean_lifetime=3600.0,
+        )
+        provider = CloudProvider(
+            scenario.pools(), seed=18,
+            faults=FaultInjector(FaultPlan()) if faulted else None,
+        )
+        simulator = CloudScheduleSimulator(
+            make_policy("elastic"), provider,
+            autoscaler=QueueDepthAutoscaler(),
+            checkpoints=DiskCheckpointStore() if faulted else None,
+        )
+        result = simulator.run(paper_workload(18, num_jobs=16, gap=90.0))
+        return [serialize(d) for d in simulator.policy.decision_log], result
+
+    @pytest.mark.parametrize("spot", [False, True])
+    def test_zero_plan_decisions_byte_identical(self, spot):
+        plain_log, plain = self.run_fleet(spot, faulted=False)
+        fault_log, faulted = self.run_fleet(spot, faulted=True)
+        assert fault_log == plain_log
+        assert faulted.metrics.as_dict() == plain.metrics.as_dict()
+        assert faulted.cost.total_cost == pytest.approx(plain.cost.total_cost)
+        # the fault report exists but records a clean run
+        assert faulted.faults is not None
+        assert faulted.faults.crashes == 0
+        assert faulted.faults.provision_failures == 0
+        assert plain.faults is None
+
+
 class TestSweepAndCache:
     def test_grid_runs_end_to_end_with_cost_columns(self):
         stats = compare_cloud(

@@ -1,0 +1,170 @@
+"""Fault-plan construction, synthesis determinism, and the JSON round-trip."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultLoad,
+    FaultPlan,
+    reference_chaos_plan,
+)
+
+
+def full_load(**kwargs):
+    defaults = dict(crashes=2, interruptions=3, notice=120.0,
+                    fail_windows=1, timeout_windows=1, shortage_windows=1,
+                    window_duration=600.0)
+    defaults.update(kwargs)
+    return FaultLoad(**defaults)
+
+
+class TestFaultEventValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultEvent("meteor_strike", time=10.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(FaultPlanError, match="time"):
+            FaultEvent("node_crash", time=-1.0)
+
+    def test_rejects_negative_notice(self):
+        with pytest.raises(FaultPlanError, match="notice"):
+            FaultEvent("spot_interrupt", time=0.0, notice=-5.0)
+
+    def test_window_requires_positive_duration(self):
+        for kind in ("provision_fail", "provision_timeout",
+                     "capacity_shortage"):
+            with pytest.raises(FaultPlanError, match="duration"):
+                FaultEvent(kind, time=0.0)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(FaultPlanError, match="count"):
+            FaultEvent("provision_fail", time=0.0, duration=60.0, count=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(FaultPlanError, match="delay"):
+            FaultEvent("provision_fail", time=0.0, duration=60.0, delay=-1.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="unknown fault entry"):
+            FaultEvent.from_dict({"kind": "node_crash", "time": 1.0,
+                                  "severity": "bad"})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(FaultPlanError, match="object"):
+            FaultEvent.from_dict(["node_crash", 1.0])
+
+    def test_end_covers_window_span(self):
+        event = FaultEvent("capacity_shortage", time=100.0, duration=50.0)
+        assert event.end == 150.0
+        point = FaultEvent("node_crash", time=100.0)
+        assert point.end == 100.0
+
+
+class TestFaultPlan:
+    def test_entries_are_sorted_on_construction(self):
+        plan = FaultPlan(entries=(
+            FaultEvent("node_crash", time=500.0),
+            FaultEvent("spot_interrupt", time=100.0, notice=60.0),
+            FaultEvent("node_crash", time=300.0),
+        ))
+        assert [e.time for e in plan.entries] == [100.0, 300.0, 500.0]
+
+    def test_is_zero(self):
+        assert FaultPlan().is_zero
+        assert not FaultPlan(
+            entries=(FaultEvent("node_crash", time=1.0),)
+        ).is_zero
+
+    def test_extend_merges_and_resorts(self):
+        plan = FaultPlan(entries=(FaultEvent("node_crash", time=200.0),))
+        extended = plan.extend((FaultEvent("node_crash", time=50.0),))
+        assert [e.time for e in extended.entries] == [50.0, 200.0]
+        # the original is untouched (frozen dataclass semantics)
+        assert [e.time for e in plan.entries] == [200.0]
+
+    def test_json_round_trip_preserves_every_field(self):
+        plan = FaultPlan.synthesize(11, 3600.0, full_load(pool="spot"))
+        plan = plan.extend((
+            FaultEvent("provision_fail", time=10.0, duration=60.0,
+                       count=2, delay=5.0),
+        ))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = reference_chaos_plan(seed=3)
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_load_missing_file_raises_plan_error(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.load(str(tmp_path / "nope.json"))
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{truncated")
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(FaultPlanError, match="schema"):
+            FaultPlan.from_dict({"schema": 99, "entries": []})
+
+    def test_from_dict_rejects_non_list_entries(self):
+        with pytest.raises(FaultPlanError, match="entries"):
+            FaultPlan.from_dict({"entries": {"kind": "node_crash"}})
+
+
+class TestSynthesis:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.synthesize(5, 7200.0, full_load())
+        b = FaultPlan.synthesize(5, 7200.0, full_load())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.synthesize(5, 7200.0, full_load())
+        b = FaultPlan.synthesize(6, 7200.0, full_load())
+        assert a != b
+
+    def test_counts_are_exact(self):
+        plan = FaultPlan.synthesize(0, 7200.0, full_load())
+        kinds = [e.kind for e in plan.entries]
+        assert kinds.count("node_crash") == 2
+        assert kinds.count("spot_interrupt") == 3
+        for kind in ("provision_fail", "provision_timeout",
+                     "capacity_shortage"):
+            assert kinds.count(kind) == 1
+
+    def test_times_stay_inside_middle_of_horizon(self):
+        horizon = 1000.0
+        plan = FaultPlan.synthesize(1, horizon, full_load())
+        for entry in plan.entries:
+            assert 0.05 * horizon <= entry.time <= 0.95 * horizon
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(FaultPlanError, match="horizon"):
+            FaultPlan.synthesize(0, 0.0, full_load())
+
+    def test_load_validation(self):
+        with pytest.raises(FaultPlanError, match="crashes"):
+            FaultLoad(crashes=-1)
+        with pytest.raises(FaultPlanError, match="window_duration"):
+            FaultLoad(window_duration=0.0)
+
+
+class TestReferenceChaosPlan:
+    def test_is_deterministic(self):
+        assert reference_chaos_plan() == reference_chaos_plan()
+
+    def test_pins_the_corner_cases(self):
+        kinds = {e.kind for e in reference_chaos_plan().entries}
+        assert kinds == set(FAULT_KINDS)
+        # one interrupt whose notice is too short to checkpoint in
+        assert any(e.kind == "spot_interrupt" and e.notice == 1.0
+                   for e in reference_chaos_plan().entries)
+
+    def test_round_trips_through_json(self):
+        plan = reference_chaos_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan

@@ -1,0 +1,139 @@
+"""Retry backoff, the provisioning circuit breaker, and goodput accounting."""
+
+import pytest
+
+from repro.cloud import ProvisioningCircuitBreaker
+from repro.errors import CloudError, FaultPlanError
+from repro.faults import FaultReport, FaultStats, RetryPolicy
+from repro.sim.rng import stream
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_then_caps(self):
+        policy = RetryPolicy(base_delay=30.0, max_delay=480.0, jitter=0.0)
+        delays = [policy.backoff(attempt) for attempt in range(6)]
+        assert delays == [30.0, 60.0, 120.0, 240.0, 480.0, 480.0]
+
+    def test_jitter_stretches_within_bound(self):
+        policy = RetryPolicy(base_delay=30.0, jitter=0.25)
+        rng = stream(0, "faults.retry")
+        for attempt in range(4):
+            base = RetryPolicy(base_delay=30.0, jitter=0.0).backoff(attempt)
+            delay = policy.backoff(attempt, rng)
+            assert base <= delay <= base * 1.25
+
+    def test_jitter_is_stream_deterministic(self):
+        policy = RetryPolicy()
+        a = [policy.backoff(i, stream(7, "faults.retry")) for i in range(3)]
+        b = [policy.backoff(i, stream(7, "faults.retry")) for i in range(3)]
+        assert a == b
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_delay=30.0, jitter=0.5)
+        assert policy.backoff(0) == 30.0
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FaultPlanError, match="delays"):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(FaultPlanError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        breaker = ProvisioningCircuitBreaker(threshold=3, cooloff=120.0)
+        assert breaker.record_failure(now=0.0) is False
+        assert breaker.record_failure(now=10.0) is False
+        assert breaker.allows(now=10.0)
+        assert breaker.record_failure(now=20.0) is True
+        assert not breaker.allows(now=20.0)
+        assert breaker.open_until == 140.0
+
+    def test_half_open_probe_failure_retrips_immediately(self):
+        breaker = ProvisioningCircuitBreaker(threshold=3, cooloff=100.0)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(now=t)
+        # hold expires; the next attempt probes the provider
+        assert breaker.allows(now=200.0)
+        # the streak is preserved: one more failure trips at once, with a
+        # doubled cool-off
+        assert breaker.record_failure(now=200.0) is True
+        assert breaker.trips == 2
+        assert breaker.open_until == 400.0
+
+    def test_cooloff_doubles_and_caps(self):
+        breaker = ProvisioningCircuitBreaker(threshold=1, cooloff=100.0,
+                                             max_cooloff=250.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.open_until == 100.0
+        breaker.allows(now=100.0)
+        breaker.record_failure(now=100.0)
+        assert breaker.open_until == 300.0
+        breaker.allows(now=300.0)
+        breaker.record_failure(now=300.0)
+        # 100 * 2**2 = 400 caps at 250
+        assert breaker.open_until == 550.0
+
+    def test_success_closes_and_resets_streak(self):
+        breaker = ProvisioningCircuitBreaker(threshold=2, cooloff=60.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=1.0)
+        assert not breaker.allows(now=1.0)
+        breaker.record_success()
+        assert breaker.allows(now=1.0)
+        # streak restarted: one failure is below threshold again
+        assert breaker.record_failure(now=2.0) is False
+
+    def test_validation(self):
+        with pytest.raises(CloudError, match="threshold"):
+            ProvisioningCircuitBreaker(threshold=0)
+        with pytest.raises(CloudError, match="cooloff"):
+            ProvisioningCircuitBreaker(cooloff=0.0)
+        with pytest.raises(CloudError, match="cooloff"):
+            ProvisioningCircuitBreaker(cooloff=100.0, max_cooloff=50.0)
+
+
+class TestFaultReport:
+    def test_goodput_is_busy_minus_lost(self):
+        stats = FaultStats(lost_slot_seconds=250.0,
+                           recovered_slot_seconds=100.0, evictions=2)
+        report = FaultReport.build(stats, busy_slot_seconds=1000.0,
+                                   interruptions=3)
+        assert report.throughput_slot_seconds == 1000.0
+        assert report.goodput_slot_seconds == 750.0
+        assert report.goodput_fraction == 0.75
+        assert report.recovered_slot_seconds == 100.0
+        assert report.interruptions == 3
+
+    def test_lost_is_clamped_to_busy(self):
+        stats = FaultStats(lost_slot_seconds=5000.0)
+        report = FaultReport.build(stats, busy_slot_seconds=1000.0,
+                                   interruptions=0)
+        assert report.lost_slot_seconds == 1000.0
+        assert report.goodput_slot_seconds == 0.0
+
+    def test_idle_run_has_unit_goodput_fraction(self):
+        report = FaultReport.build(FaultStats(), busy_slot_seconds=0.0,
+                                   interruptions=0)
+        assert report.goodput_fraction == 1.0
+
+    def test_as_dict_and_describe_cover_every_counter(self):
+        stats = FaultStats(crashes=1, notices=2, evictions=3,
+                           checkpoints_written=4, checkpoints_missed=1,
+                           restarts_from_checkpoint=2,
+                           restarts_from_scratch=1, provision_failures=5,
+                           provision_timeouts=2, provision_retries=4,
+                           capacity_shortages=1, breaker_trips=1,
+                           lost_slot_seconds=10.0,
+                           recovered_slot_seconds=20.0)
+        report = FaultReport.build(stats, busy_slot_seconds=100.0,
+                                   interruptions=6)
+        data = report.as_dict()
+        assert data["crashes"] == 1
+        assert data["breaker_trips"] == 1
+        text = report.describe()
+        assert "goodput" in text
+        assert "breaker trips" in text
+        assert "checkpoint" in text

@@ -91,7 +91,56 @@ class TestCollect:
 
     def test_skips_malformed_json(self, tmp_path):
         (tmp_path / "BENCH_bad.json").write_text("{truncated")
-        assert collect_documents(str(tmp_path)) == []
+        with pytest.warns(RuntimeWarning, match="BENCH_bad.json"):
+            assert collect_documents(str(tmp_path)) == []
+
+
+class TestCorruptArtifacts:
+    """A damaged nightly artifact must cost a warning, never the dashboard."""
+
+    def test_corrupt_artifact_warns_and_survivors_render(self, history,
+                                                         tmp_path):
+        bad = history / "run1" / "BENCH_truncated.json"
+        bad.write_text(json.dumps(bench_doc(
+            "eeee7777", "2026-08-08T03:00:00Z", 0.5))[:40])
+        with pytest.warns(RuntimeWarning, match="BENCH_truncated.json"):
+            documents = collect_documents(str(history))
+        assert len(documents) == 6  # the good artifacts all survived
+        out = tmp_path / "dash.html"
+        with pytest.warns(RuntimeWarning):
+            assert write_dashboard(str(history), str(out)) == 6
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_non_object_manifest_warns_and_skips(self, tmp_path):
+        document = bench_doc("ffff8888", "2026-08-08T04:00:00Z", 0.02)
+        document["manifest"] = ["not", "an", "object"]
+        (tmp_path / "BENCH_listman.json").write_text(json.dumps(document))
+        with pytest.warns(RuntimeWarning, match="manifest is list"):
+            assert collect_documents(str(tmp_path)) == []
+
+    def test_garbage_timestamp_does_not_break_ordering(self, tmp_path):
+        document = bench_doc("abcd1234", "2026-08-08T05:00:00Z", 0.02)
+        document["manifest"]["created_utc"] = {"bad": "stamp"}
+        (tmp_path / "BENCH_stamp.json").write_text(json.dumps(document))
+        (collected,) = collect_documents(str(tmp_path))
+        # the garbage stamp falls back to file mtime instead of crashing
+        assert collected.timestamp.endswith("Z")
+        assert collected.label == "abcd1234"[:8]
+
+    def test_non_numeric_metric_warns_and_skips_the_point(self, tmp_path):
+        document = bench_doc("dcba4321", "2026-08-08T06:00:00Z", 0.02)
+        document["results"]["engine_1000"]["normalized"] = "fast-ish"
+        (tmp_path / "BENCH_nonnum.json").write_text(json.dumps(document))
+        with pytest.warns(RuntimeWarning, match="non-numeric"):
+            all_series = build_series(collect_documents(str(tmp_path)))
+        assert not any("engine_1000" in s.title for s in all_series)
+
+    def test_boolean_metric_is_not_numeric(self, tmp_path):
+        document = bench_doc("0123beef", "2026-08-08T07:00:00Z", 0.02)
+        document["results"]["engine_1000"]["normalized"] = True
+        (tmp_path / "BENCH_bool.json").write_text(json.dumps(document))
+        with pytest.warns(RuntimeWarning, match="non-numeric"):
+            build_series(collect_documents(str(tmp_path)))
 
 
 class TestSeries:

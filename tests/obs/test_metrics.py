@@ -65,6 +65,14 @@ class TestInstruments:
         registry.histogram("n.h").observe(1.0)
         assert set(registry.snapshot()) == {"n", "n.h"}
 
+    def test_snapshot_prefix_filters_dotted_names(self, registry):
+        registry.counter("faults.notices").inc(3)
+        registry.gauge("faults.goodput_fraction").set(0.9)
+        registry.counter("engine.redistribute_calls").inc()
+        snap = registry.snapshot("faults.")
+        assert snap == {"faults.notices": 3, "faults.goodput_fraction": 0.9}
+        assert registry.snapshot(prefix="nope.") == {}
+
 
 class TestDisabledRegistry:
     def test_disabled_hands_out_shared_nulls(self):

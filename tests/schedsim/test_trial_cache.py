@@ -73,6 +73,30 @@ class TestTrialCacheStore:
             json.dump({"schema": 1, "metrics": {"unexpected": True}}, handle)
         assert cache.get(TASK) is None  # schema drift is a miss, not a crash
 
+    def test_faults_layer_edit_moves_the_salt(self, tmp_path):
+        """A fault-plan edit must invalidate cached *cloud* trials: the
+        ``faults`` tree participates in the code-version salt."""
+        import shutil
+
+        import repro
+
+        copy = tmp_path / "repro"
+        shutil.copytree(os.path.dirname(repro.__file__), copy,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        before = code_salt(package_root=str(copy))
+        assert before == code_salt(package_root=str(copy))  # walk is stable
+        with open(copy / "faults" / "plan.py", "a", encoding="utf-8") as f:
+            f.write("\n# tweak the fault timeline\n")
+        after = code_salt(package_root=str(copy))
+        assert after != before
+
+        # and a salt change really does miss previously cached records
+        record = {"metrics": {"policy": "elastic"}, "cost": {"total": 1.0}}
+        old = TrialCache(tmp_path / "c", salt=before)
+        old.put_record(TASK, record)
+        assert TrialCache(tmp_path / "c", salt=before).get_record(TASK) == record
+        assert TrialCache(tmp_path / "c", salt=after).get_record(TASK) is None
+
     def test_clear_removes_entries(self, cache):
         cache.put(TASK, run_trial_task(TASK))
         assert cache.clear() == 1
